@@ -1,0 +1,23 @@
+"""A1 — DAS ablation: adaptation / last band / SRPT front.
+
+Expected shape: the SRPT front ordering carries most of the mean-RCT win
+(removing it is the most damaging ablation); the last band and adaptation
+are protective mechanisms whose removal never helps much.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_a1_ablation(benchmark, results_dir):
+    result = execute_scenario(benchmark, "A1")
+    report(result, results_dir)
+
+    for point in result.scenario.points:
+        full = result.cell(point.x, "DAS").metric("mean")
+        no_srpt = result.cell(point.x, "DAS w/o SRPT front").metric("mean")
+        # Removing the SRPT ordering costs the most.
+        assert no_srpt > full, f"SRPT front did not matter at {point.x}"
+        # The other ablations stay in DAS's neighbourhood.
+        for label in ("DAS w/o adapt", "DAS w/o last band"):
+            ablated = result.cell(point.x, label).metric("mean")
+            assert ablated < full * 1.5

@@ -1,0 +1,27 @@
+"""A2 — feedback freshness: piggyback vs periodic vs none.
+
+Expected shape: DAS with piggybacked feedback matches (or beats) periodic
+broadcasting at zero message cost; with *no* feedback DAS degrades to
+static SBF ordering, so its advantage over Rein-SBF disappears at the
+no-feedback point — demonstrating the feedback path is what buys the
+adaptivity.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_a2_feedback(benchmark, results_dir):
+    result = execute_scenario(benchmark, "A2")
+    report(result, results_dir)
+
+    das_piggy = result.cell("piggyback", "DAS").metric("mean")
+    das_none = result.cell("none", "DAS").metric("mean")
+    sbf_none = result.cell("none", "Rein-SBF").metric("mean")
+    sbf_piggy = result.cell("piggyback", "Rein-SBF").metric("mean")
+
+    # With feedback, DAS beats SBF on the degradation scenario.
+    assert das_piggy < sbf_piggy
+    # Without feedback, DAS collapses to SBF-like behaviour (within 10%).
+    assert abs(das_none - sbf_none) / sbf_none < 0.10
+    # Piggyback feedback is at least as good as losing feedback entirely.
+    assert das_piggy < das_none * 1.05

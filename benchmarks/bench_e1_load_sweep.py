@@ -1,0 +1,26 @@
+"""E1 — mean RCT vs offered load (the paper's headline figure).
+
+Expected shape (paper): DAS cuts mean RCT vs FCFS increasingly with load,
+exceeding 15% from moderate load and reaching ~50%+ when the system is
+hot; DAS tracks or beats Rein-SBF at every point.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e1_load_sweep(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E1")
+    report(result, results_dir)
+
+    fcfs = result.series("FCFS")
+    das = result.series("DAS")
+    sbf = result.series("Rein-SBF")
+    # Mean RCT is monotone-ish in load for FCFS (allow sampling wiggle at
+    # the light-load end, where queueing is negligible).
+    assert fcfs[-1] > fcfs[0]
+    # DAS beats FCFS clearly at the heavy-load points (paper: 15~50%).
+    for i in (-1, -2):
+        assert 1.0 - das[i] / fcfs[i] > 0.15
+    # DAS stays within a whisker of (or beats) Rein-SBF everywhere.
+    for d, s in zip(das, sbf):
+        assert d < s * 1.10

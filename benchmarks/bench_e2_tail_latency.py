@@ -1,0 +1,21 @@
+"""E2 — P99 RCT vs offered load.
+
+Expected shape: size-based policies (SBF/DAS) trade some tail for mean at
+heavy load; DAS's aging keeps its P99 in the same decade as FCFS's.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e2_tail_latency(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E2")
+    report(result, results_dir)
+
+    fcfs = result.series("FCFS", "p99")
+    das = result.series("DAS", "p99")
+    # Tails grow with load for every policy.
+    assert fcfs[-1] > fcfs[0]
+    assert das[-1] > das[0]
+    # DAS's p99 stays within one order of magnitude of FCFS's at every load.
+    for d, f in zip(das, fcfs):
+        assert d < f * 10

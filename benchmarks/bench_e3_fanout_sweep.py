@@ -1,0 +1,24 @@
+"""E3 — mean RCT vs multiget fan-out at fixed load 0.7.
+
+Expected shape: RCT grows with fan-out (the max-structure: more parallel
+operations, later last completion) for every policy; the DAS/SBF advantage
+over FCFS is present across fan-outs and absent only at fan-out where
+queueing vanishes.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e3_fanout_sweep(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E3")
+    report(result, results_dir)
+
+    fcfs = result.series("FCFS")
+    das = result.series("DAS")
+    # Max-structure: larger mean fan-out completes later under FCFS.
+    assert fcfs[-1] > fcfs[0]
+    # DAS never loses to FCFS at any fan-out mix, and wins at every point
+    # where queueing matters.
+    for d, f in zip(das, fcfs):
+        assert d < f * 1.05
+    assert das[-1] < fcfs[-1]

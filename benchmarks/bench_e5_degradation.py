@@ -1,0 +1,24 @@
+"""E5 — server performance degradation (0/1/2/4 of 16 servers at 50%).
+
+Expected shape: all policies degrade as more servers slow down; DAS's
+piggybacked rate estimates let it deprioritize requests bound for slow
+servers, so its curve rises the least — this is a scenario where DAS
+clearly beats Rein-SBF (which cannot tell a slow server from a fast one).
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e5_degradation(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E5")
+    report(result, results_dir)
+
+    das = result.series("DAS")
+    sbf = result.series("Rein-SBF")
+    fcfs = result.series("FCFS")
+    # Degradation hurts everyone: the 4-degraded point is worse than the
+    # healthy point for FCFS.
+    assert fcfs[-1] > fcfs[0]
+    # With degraded servers present DAS beats both baselines.
+    assert das[-1] < fcfs[-1]
+    assert das[-1] < sbf[-1]

@@ -1,0 +1,26 @@
+"""E6 — mean RCT across traffic patterns at load 0.7.
+
+Expected shape: DAS <= FCFS on every pattern; the largest wins appear on
+the mixes with wide request-size spread (bimodal, heavytail); single-get
+shows the smallest multiget-specific gain.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e6_traffic_patterns(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E6")
+    report(result, results_dir)
+
+    xs = result.xs()
+    fcfs = result.series("FCFS")
+    das = result.series("DAS")
+    reductions = {
+        x: 1.0 - d / f for x, d, f in zip(xs, das, fcfs)
+    }
+    # DAS never loses badly on any pattern...
+    for x, r in reductions.items():
+        assert r > -0.10, f"DAS lost on pattern {x}: {r:.2%}"
+    # ...and wins clearly on the wide-spread mixes.
+    assert reductions["bimodal"] > 0.2
+    assert reductions["baseline"] > 0.1

@@ -1,0 +1,30 @@
+"""E7 — the headline reduction table.
+
+Expected shape (the abstract's claims, verbatim):
+* "DAS reduces the mean request completion time by more than 15~50%
+  compared to the default first come first served algorithm" — at the
+  moderate/heavy points;
+* "outperforms the existing Rein-SBF algorithm under various scenarios" —
+  DAS >= Rein-SBF on the scenario mix, with clear wins where server
+  performance varies.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e7_headline_table(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E7")
+    report(result, results_dir)
+
+    vs_fcfs = dict(zip(result.xs(), result.reduction_vs("FCFS", "DAS")))
+    vs_sbf = dict(zip(result.xs(), result.reduction_vs("Rein-SBF", "DAS")))
+
+    # Paper: ">15~50%" vs FCFS at moderate and heavy load.
+    assert vs_fcfs["baseline@0.7"] > 0.15
+    assert vs_fcfs["baseline@0.9"] > 0.30
+    assert vs_fcfs["bimodal@0.8"] > 0.30
+    assert vs_fcfs["degraded@0.55"] > 0.30
+    # vs Rein-SBF: never materially worse, clearly better under degradation.
+    for x, r in vs_sbf.items():
+        assert r > -0.08, f"DAS lost to Rein-SBF on {x}: {r:.2%}"
+    assert vs_sbf["degraded@0.55"] > 0.05

@@ -1,0 +1,18 @@
+"""E9 — scalability: mean RCT vs cluster size at per-server load 0.7.
+
+Expected shape: DAS is fully distributed, so its advantage over FCFS
+persists (or grows — larger clusters mean larger fan-out spread) as the
+cluster scales; no coordination bottleneck appears.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_e9_scalability(benchmark, results_dir):
+    result = execute_scenario(benchmark, "E9")
+    report(result, results_dir)
+
+    fcfs = result.series("FCFS")
+    das = result.series("DAS")
+    for n, d, f in zip(result.xs(), das, fcfs):
+        assert 1.0 - d / f > 0.10, f"DAS advantage vanished at {n} servers"

@@ -1,0 +1,136 @@
+"""Micro-benchmarks of the performance-critical substrates.
+
+These are true microbenchmarks (pytest-benchmark's statistical mode):
+simulation-kernel event throughput, scheduler queue push/pop cost, ring
+lookups, and storage operations — the knobs that bound how large a
+simulated cluster the harness can drive.
+"""
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveThreshold
+from repro.core.das import DasQueue, TAG_RPT
+from repro.kvstore.items import OpKind, Operation, Request
+from repro.kvstore.partitioning import ConsistentHashRing
+from repro.kvstore.storage import StorageEngine
+from repro.schedulers.base import QueueContext
+from repro.schedulers.registry import create_policy
+from repro.sim.core import Environment
+
+N_OPS = 2000
+
+
+def _make_ops(n: int) -> list:
+    ops = []
+    for i in range(n):
+        request = Request(request_id=i, client_id=0, arrival_time=0.0)
+        op = Operation(
+            request=request,
+            key=f"k{i}",
+            kind=OpKind.GET,
+            value_size=1000,
+            server_id=0,
+            demand=(i % 17 + 1) * 1e-4,
+        )
+        op.tag[TAG_RPT] = op.demand
+        op.tag["bottleneck"] = op.demand
+        request.operations.append(op)
+        ops.append(op)
+    return ops
+
+
+def bench_sim_kernel_event_throughput(benchmark):
+    """Timeout schedule/fire cycles per second of the DES kernel."""
+
+    def run():
+        env = Environment()
+
+        def proc():
+            for _ in range(N_OPS):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == N_OPS
+
+
+def bench_fcfs_queue_cycle(benchmark):
+    ops = _make_ops(N_OPS)
+
+    def run():
+        queue = create_policy("fcfs").make_queue(
+            QueueContext(0, np.random.default_rng(0))
+        )
+        for op in ops:
+            queue.push(op, 0.0)
+        while len(queue):
+            queue.pop(1.0)
+
+    benchmark(run)
+
+
+def bench_sbf_queue_cycle(benchmark):
+    ops = _make_ops(N_OPS)
+
+    def run():
+        queue = create_policy("sbf").make_queue(
+            QueueContext(0, np.random.default_rng(0))
+        )
+        for op in ops:
+            queue.push(op, 0.0)
+        while len(queue):
+            queue.pop(1.0)
+
+    benchmark(run)
+
+
+def bench_das_queue_cycle(benchmark):
+    """DAS adds EWMA + controller work per push; quantify the overhead."""
+    ops = _make_ops(N_OPS)
+
+    def run():
+        queue = create_policy("das").make_queue(
+            QueueContext(0, np.random.default_rng(0))
+        )
+        for op in ops:
+            queue.push(op, 0.0)
+        while len(queue):
+            queue.pop(1.0)
+
+    benchmark(run)
+
+
+def bench_ring_lookup(benchmark):
+    ring = ConsistentHashRing(range(64), vnodes=128)
+    keys = [f"key:{i:08d}" for i in range(1000)]
+
+    def run():
+        return [ring.owner(k) for k in keys]
+
+    owners = benchmark(run)
+    assert len(owners) == 1000
+
+
+def bench_storage_get(benchmark):
+    store = StorageEngine()
+    for i in range(10000):
+        store.put(f"k{i}", 100)
+
+    def run():
+        for i in range(0, 10000, 7):
+            store.get(f"k{i}")
+
+    benchmark(run)
+
+
+def bench_adaptive_controller_observe(benchmark):
+    ctrl = AdaptiveThreshold(adapt_interval=0.0)
+
+    def run():
+        for t in range(5000):
+            ctrl.observe(t % 20, float(t))
+
+    benchmark(run)

@@ -1,0 +1,22 @@
+"""X1 — extension (ours): DAS estimates driving replica selection.
+
+Expected shape: under Zipf skew with 3-way replication, spreading reads
+over replicas beats primary-only, and estimate-driven selection
+(``least_estimated_work``, powered by the same feedback DAS already
+collects) is at least as good as blind round-robin.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_x1_replica_selection(benchmark, results_dir):
+    result = execute_scenario(benchmark, "X1")
+    report(result, results_dir)
+
+    das_primary = result.cell("primary", "DAS").metric("mean")
+    das_rr = result.cell("round_robin", "DAS").metric("mean")
+    das_lw = result.cell("least_estimated_work", "DAS").metric("mean")
+    # Spreading the hot key over replicas is a large win under skew.
+    assert das_rr < das_primary * 0.8
+    # Estimate-driven selection does not lose to blind rotation.
+    assert das_lw < das_rr * 1.15

@@ -1,0 +1,22 @@
+"""X2 — extension (ours): outage survival via op timeout + replica retry.
+
+Expected shape: unprotected, the p999 RCT is dominated by requests that
+waited out the outage (hundreds of milliseconds to seconds); with 2-way
+replication and timeout-driven retries the p999 collapses back to within
+a small factor of the healthy cluster's.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+
+def bench_x2_fault_tolerance(benchmark, results_dir):
+    result = execute_scenario(benchmark, "X2", scale=0.25)
+    report(result, results_dir)
+
+    no_retry = result.cell("no-retry", "DAS").metric("p999")
+    with_retry = result.cell("retry-r2", "DAS").metric("p999")
+    healthy = result.cell("healthy", "DAS").metric("p999")
+    # The outage wrecks the unprotected tail...
+    assert no_retry > healthy * 20
+    # ...and retries claw most of it back.
+    assert with_retry < no_retry * 0.2

@@ -1,0 +1,52 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*`` module regenerates one reconstructed table/figure (see
+DESIGN.md §4) at ``SCALE`` of the full experiment size, asserts the
+paper's qualitative shape, and writes the rendered table to
+``benchmarks/results/<id>.txt`` (and stdout, visible with ``pytest -s``).
+
+Run the full-size experiments with ``repro-experiments --all``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import format_reduction_table, format_scenario_table
+from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.scenarios import get_scenario
+
+#: Fraction of the full experiment size benches run at.
+SCALE = 0.08
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def execute_scenario(benchmark, experiment_id: str, scale: float = SCALE) -> ScenarioResult:
+    """Benchmark one full scenario run (single round — it's a simulation,
+    not a microbenchmark) and return its results."""
+    scenario = get_scenario(experiment_id, scale=scale)
+    return benchmark.pedantic(
+        lambda: run_scenario(scenario), rounds=1, iterations=1
+    )
+
+
+def report(result: ScenarioResult, results_dir: Path, extra: str = "") -> None:
+    """Render, persist, and print the scenario's table."""
+    text = format_scenario_table(result)
+    if result.scenario.experiment_id == "E7":
+        text += "\n\n" + format_reduction_table(result)
+    if extra:
+        text += "\n" + extra
+    out = results_dir / f"{result.scenario.experiment_id}.txt"
+    out.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

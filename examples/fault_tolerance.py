@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fault injection: surviving a server outage with timeouts + retries.
+
+Kills server 0 for the middle half of the run and compares three cluster
+configurations under DAS scheduling:
+
+* unprotected (replication 1, no timeouts) — every request touching the
+  dead server stalls until it recovers;
+* replicated but blind (replication 2, no timeouts) — no better: reads
+  still go to the primary;
+* protected (replication 2 + 20 ms op timeout + retry) — timed-out
+  operations retry on the second replica and the outage almost vanishes
+  from the tail.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import ClusterConfig, ServiceConfig, SimulationConfig
+from repro.kvstore.cluster import Cluster
+from repro.workload import PoissonArrivals
+from repro.workload.patterns import traffic_pattern
+from repro.workload.popularity import UniformPopularity
+from repro.workload.requests import arrival_rate_for_load
+
+N_SERVERS = 8
+LOAD = 0.5
+DURATION = 2.0
+OUTAGE = (0.5, 1.5)  # server 0 is down for this window
+
+
+def run_variant(name: str, **overrides) -> None:
+    pattern = traffic_pattern("baseline")
+    service = ServiceConfig()
+    rate = arrival_rate_for_load(
+        LOAD, pattern.fanout.mean(), service.mean_demand(pattern.sizes.mean()),
+        N_SERVERS,
+    )
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        seed=17,
+        scheduler="das",
+        arrivals=PoissonArrivals(rate=rate),
+        fanout=pattern.fanout,
+        sizes=pattern.sizes,
+        popularity=UniformPopularity(),
+        service=service,
+        outages={0: (OUTAGE,)},
+        **overrides,
+    )
+    cluster = Cluster(config)
+    result = cluster.run(SimulationConfig(duration=DURATION, warmup_fraction=0.0))
+    s = result.summary()
+    retries = sum(c.retries_sent for c in cluster.clients)
+    print(
+        f"  {name:<28} mean {s.mean * 1e3:8.3f}ms  p99 {s.p99 * 1e3:9.3f}ms  "
+        f"p99.9 {s.p999 * 1e3:9.3f}ms  retries {retries}"
+    )
+
+
+def main() -> None:
+    print(
+        f"server 0 down from t={OUTAGE[0]}s to t={OUTAGE[1]}s "
+        f"({N_SERVERS} servers, load {LOAD}, DAS)\n"
+    )
+    run_variant("unprotected (r=1)")
+    run_variant("replicated, no timeout (r=2)", replication_factor=2)
+    run_variant(
+        "protected (r=2 + retry)",
+        replication_factor=2,
+        op_timeout=0.02,
+        max_retries=2,
+    )
+    print("\nTimeout-driven retries reroute reads to the surviving replica;")
+    print("the outage disappears from the tail at the cost of a few")
+    print("duplicate operations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Analytic cross-checks: queueing-theory predictions for the simulator.
+
+A simulation result is only as credible as the simulator; this package
+computes closed-form M/M/1 and M/G/1 (Pollaczek–Khinchine) predictions for
+configurations where they apply (single-key traffic, FCFS, uniform keys)
+so the test suite can validate the discrete-event engine against theory.
+"""
+
+from repro.analysis.theory import (
+    SingleQueuePrediction,
+    mg1_mean_wait,
+    mm1_mean_wait,
+    predict_single_key_fcfs,
+    service_moments_from_keyspace,
+)
+
+__all__ = [
+    "SingleQueuePrediction",
+    "mg1_mean_wait",
+    "mm1_mean_wait",
+    "predict_single_key_fcfs",
+    "service_moments_from_keyspace",
+]

@@ -1,0 +1,84 @@
+"""Simulator-vs-theory validation report.
+
+Usage::
+
+    python -m repro.analysis.validate [--requests 40000]
+
+Runs fan-out-1 FCFS clusters across loads and service distributions and
+prints the simulated mean RCT next to the M/G/1 (Pollaczek–Khinchine)
+prediction — the evidence that the discrete-event engine measures what
+queueing theory says it should.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.theory import predict_single_key_fcfs
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.config import ClusterConfig, ServiceConfig, SimulationConfig
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.fanout import FixedFanout
+from repro.workload.popularity import UniformPopularity
+from repro.workload.sizes import ExponentialSize, FixedSize, UniformSize
+
+
+def _config(load: float, sizes, n_servers: int = 4, seed: int = 3) -> ClusterConfig:
+    service = ServiceConfig(per_op_overhead=20e-6, byte_rate=50e6, noise_cv=0.0)
+    rate = load * n_servers / service.mean_demand(sizes.mean())
+    return ClusterConfig(
+        n_servers=n_servers,
+        n_clients=2,
+        seed=seed,
+        scheduler="fcfs",
+        keyspace_size=2000,
+        arrivals=PoissonArrivals(rate=rate),
+        fanout=FixedFanout(k=1),
+        sizes=sizes,
+        popularity=UniformPopularity(),
+        service=service,
+        network_base_delay=10e-6,
+        vnodes=256,
+    )
+
+
+CASES = [
+    ("M/D/1 (fixed 4 KiB)", FixedSize(size=4096)),
+    ("M/G/1 (uniform sizes)", UniformSize(lo=512, hi=8192)),
+    ("~M/M/1 (exponential)", ExponentialSize(mean_size=4096)),
+]
+
+LOADS = (0.3, 0.5, 0.7, 0.85)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=40_000)
+    args = parser.parse_args(argv)
+
+    print(f"{'case':<24} {'load':>5} {'theory':>10} {'simulated':>10} {'error':>7}")
+    print("-" * 60)
+    worst = 0.0
+    for name, sizes in CASES:
+        for load in LOADS:
+            config = _config(load, sizes)
+            cluster = Cluster(config)
+            prediction = predict_single_key_fcfs(config, cluster.keyspace, ring=cluster.ring)
+            result = cluster.run(
+                SimulationConfig(max_requests=args.requests, warmup_fraction=0.2)
+            )
+            error = result.mean_rct / prediction.mean_rct - 1.0
+            worst = max(worst, abs(error))
+            print(
+                f"{name:<24} {load:>5.2f} "
+                f"{prediction.mean_rct * 1e6:>8.1f}us "
+                f"{result.mean_rct * 1e6:>8.1f}us {error * 100:>6.1f}%"
+            )
+    print("-" * 60)
+    print(f"worst absolute error: {worst * 100:.1f}%")
+    return 0 if worst < 0.15 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""DAS — the Distributed Adaptive Scheduler (the paper's contribution).
+
+DAS cuts mean request completion time with a *distributed combination* of
+two classic disciplines:
+
+* **SRPT-first** — among normal requests, serve operations of the request
+  with the shortest estimated remaining processing time first;
+* **LRPT-last** — requests whose estimated remaining processing time is
+  far above the norm are demoted to a background band served only when
+  nothing else is queued.
+
+and it is *adaptive*: remaining-time estimates fold in per-server queue
+state and measured service rate (learned from feedback piggybacked on
+responses), and the demotion threshold tracks the observed load level.
+
+See DESIGN.md §2 for the reconstruction notes (the algorithm is rebuilt
+from the paper's abstract; the full text was unavailable).
+"""
+
+from repro.core.adaptive import AdaptiveThreshold
+from repro.core.das import DasPolicy, DasQueue, DasTagger, TAG_RPT
+from repro.core.estimator import EwmaEstimator, ServerEstimates
+from repro.core.feedback import FeedbackMode
+from repro.core.priority import completion_horizon, remaining_processing_time
+
+__all__ = [
+    "AdaptiveThreshold",
+    "DasPolicy",
+    "DasQueue",
+    "DasTagger",
+    "EwmaEstimator",
+    "FeedbackMode",
+    "ServerEstimates",
+    "TAG_RPT",
+    "completion_horizon",
+    "remaining_processing_time",
+]

@@ -1,0 +1,61 @@
+"""Feedback delivery modes between servers and clients.
+
+DAS needs server-state observations at the clients.  Three delivery modes
+let the experiments quantify how much the *freshness* of feedback matters
+(experiment A2):
+
+* ``PIGGYBACK`` — every response carries a snapshot (DAS default; zero
+  extra messages, freshness proportional to traffic).
+* ``PERIODIC`` — servers broadcast snapshots to all clients every
+  ``interval`` seconds (costs messages; bounded staleness even for idle
+  paths).
+* ``NONE`` — no feedback at all; DAS degrades to static SBF ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class FeedbackMode(enum.Enum):
+    """How server state reaches the clients."""
+
+    PIGGYBACK = "piggyback"
+    PERIODIC = "periodic"
+    NONE = "none"
+
+    @classmethod
+    def parse(cls, value: "FeedbackMode | str") -> "FeedbackMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            known = ", ".join(m.value for m in cls)
+            raise ConfigError(
+                f"unknown feedback mode {value!r}; one of: {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """Feedback path configuration for a cluster."""
+
+    mode: FeedbackMode = FeedbackMode.PIGGYBACK
+    #: Broadcast period for PERIODIC mode, seconds.
+    interval: float = 5e-3
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ConfigError("feedback interval must be positive")
+
+    @property
+    def piggyback(self) -> bool:
+        return self.mode is FeedbackMode.PIGGYBACK
+
+    @property
+    def periodic(self) -> bool:
+        return self.mode is FeedbackMode.PERIODIC

@@ -1,0 +1,94 @@
+"""Priority computation for DAS.
+
+DAS uses two request-level quantities, both computable at the client from
+local estimates only:
+
+* **remaining processing time (RPT)** — the speed-adjusted bottleneck:
+  the largest per-server slice of the request, divided by that server's
+  estimated service rate.  This is the *ranking* key (SRPT-first).  It is
+  deliberately load-independent: ranking by queue-wait-inflated values
+  would freeze transient congestion into permanent priorities and starve
+  requests dispatched during spikes.
+
+* **completion horizon** — the wait-inclusive estimate
+  ``max_s (queued-work(s) + slice(s)/rate(s))``: how long until the
+  request's last operation would finish if dispatched now.  This is the
+  *demotion* key (LRPT-last): a request whose horizon is far beyond the
+  norm is going to finish late no matter what, so serving its operations
+  last costs it little and helps everyone else.
+
+With no estimates (cold start, feedback disabled) both degrade to the
+static bottleneck demand, i.e. DAS falls back to Rein-SBF ordering — the
+correct zero-information behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.estimator import ServerEstimates
+from repro.kvstore.items import Request
+
+_MIN_RATE = 1e-9
+
+
+def remaining_processing_time(
+    request: Request,
+    now: float,
+    estimates: Optional[ServerEstimates],
+) -> float:
+    """Speed-adjusted bottleneck of ``request`` (the SRPT ranking key)."""
+    per_server = request.demands_by_server()
+    worst = 0.0
+    for server_id, demand in per_server.items():
+        if estimates is None:
+            adjusted = demand
+        else:
+            adjusted = demand / max(estimates.rate(server_id), _MIN_RATE)
+        if adjusted > worst:
+            worst = adjusted
+    return worst
+
+
+def completion_horizon(
+    request: Request,
+    now: float,
+    estimates: Optional[ServerEstimates],
+) -> float:
+    """Wait-inclusive completion estimate (the LRPT demotion key)."""
+    per_server = request.demands_by_server()
+    worst = 0.0
+    for server_id, demand in per_server.items():
+        if estimates is None:
+            horizon = demand
+        else:
+            rate = max(estimates.rate(server_id), _MIN_RATE)
+            horizon = estimates.wait_estimate(server_id, now) + demand / rate
+        if horizon > worst:
+            worst = horizon
+    return worst
+
+
+def residual_processing_time(
+    request: Request,
+    now: float,
+    estimates: Optional[ServerEstimates],
+) -> float:
+    """Speed-adjusted bottleneck over *unfinished* operations only.
+
+    Diagnostics / re-tagging helper; at dispatch it equals
+    :func:`remaining_processing_time` because nothing has finished yet.
+    """
+    per_server: dict[int, float] = {}
+    for op in request.operations:
+        if op.finish_time == op.finish_time:  # finished (not NaN)
+            continue
+        per_server[op.server_id] = per_server.get(op.server_id, 0.0) + op.demand
+    worst = 0.0
+    for server_id, demand in per_server.items():
+        if estimates is None:
+            adjusted = demand
+        else:
+            adjusted = demand / max(estimates.rate(server_id), _MIN_RATE)
+        worst = max(worst, adjusted)
+    return worst

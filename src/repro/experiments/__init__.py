@@ -1,0 +1,31 @@
+"""Experiment harness: one scenario per table/figure of the evaluation.
+
+``SCENARIOS`` maps experiment ids (E1..E10, A1, A2 — see DESIGN.md §4) to
+factories building a :class:`~repro.experiments.scenarios.Scenario`; the
+:func:`~repro.experiments.runner.run_scenario` function executes every
+(point × scheduler) cell and the report module renders the same
+rows/series the paper plots.
+"""
+
+from repro.experiments.report import format_reduction_table, format_scenario_table
+from repro.experiments.runner import CellResult, ScenarioResult, run_scenario
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    RunPoint,
+    Scenario,
+    SchedulerSpec,
+    get_scenario,
+)
+
+__all__ = [
+    "CellResult",
+    "RunPoint",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "SchedulerSpec",
+    "format_reduction_table",
+    "format_scenario_table",
+    "get_scenario",
+    "run_scenario",
+]

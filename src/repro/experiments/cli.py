@@ -1,0 +1,78 @@
+"""Command-line entry point: run experiments and print paper-style tables.
+
+Usage::
+
+    repro-experiments E1 E5            # run selected experiments
+    repro-experiments --all            # run the full suite
+    repro-experiments E1 --scale 0.25  # quick pass at a quarter size
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import format_reduction_table, format_scenario_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the DAS paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (known: {', '.join(sorted(SCENARIOS))})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="request-count scale factor (default 1.0; use <1 for quick passes)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII line chart of each experiment",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = sorted(SCENARIOS) if args.all else args.experiments
+    if not ids:
+        build_parser().print_help()
+        return 2
+    unknown = [i for i in ids if i not in SCENARIOS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda msg: print(f"  running {msg}")
+    for experiment_id in ids:
+        scenario = get_scenario(experiment_id, scale=args.scale)
+        result = run_scenario(scenario, progress=progress)
+        print()
+        print(format_scenario_table(result))
+        if experiment_id == "E7":
+            print()
+            print(format_reduction_table(result))
+        if args.chart:
+            from repro.metrics.plots import scenario_chart
+
+            print()
+            print(scenario_chart(result))
+        print(f"  ({result.wall_seconds:.1f}s wall)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Render scenario results as the tables/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.runner import ScenarioResult
+
+_MS_METRICS = {"mean", "p50", "p90", "p95", "p99", "p999", "std"}
+
+
+def _fmt_value(metric: str, value: float) -> str:
+    if metric in _MS_METRICS:
+        return f"{value * 1e3:.3f}"
+    return f"{value:.2f}"
+
+
+def _metric_unit(metric: str) -> str:
+    return "ms" if metric in _MS_METRICS else "x"
+
+
+def format_scenario_table(
+    result: ScenarioResult, metric: Optional[str] = None
+) -> str:
+    """One row per scheduler, one column per x point — the figure's series."""
+    scenario = result.scenario
+    metric = metric or scenario.metric
+    unit = _metric_unit(metric)
+    xs = result.xs()
+    header = [f"{scenario.x_label}"] + [str(x) for x in xs]
+    rows: List[List[str]] = [header]
+    for sched in scenario.schedulers:
+        series = result.series(sched.label, metric)
+        rows.append([sched.label] + [_fmt_value(metric, v) for v in series])
+    title = (
+        f"{scenario.experiment_id}: {scenario.title} — {metric} ({unit})"
+    )
+    return title + "\n" + _render_grid(rows) + (
+        f"\n  note: {scenario.notes}" if scenario.notes else ""
+    )
+
+
+def format_reduction_table(
+    result: ScenarioResult,
+    baseline_label: str = "FCFS",
+    comparator_label: str = "Rein-SBF",
+    treatment_label: str = "DAS",
+) -> str:
+    """The headline table: % reduction of DAS vs FCFS and vs the comparator."""
+    scenario = result.scenario
+    xs = result.xs()
+    vs_base = result.reduction_vs(baseline_label, treatment_label)
+    vs_comp = result.reduction_vs(comparator_label, treatment_label)
+    rows = [
+        [scenario.x_label] + [str(x) for x in xs],
+        [f"vs {baseline_label} (%)"] + [f"{r * 100:.1f}" for r in vs_base],
+        [f"vs {comparator_label} (%)"] + [f"{r * 100:.1f}" for r in vs_comp],
+    ]
+    title = f"{scenario.experiment_id}: mean-RCT reduction of {treatment_label}"
+    return title + "\n" + _render_grid(rows)
+
+
+def _render_grid(rows: List[List[str]]) -> str:
+    """Fixed-width grid with a header separator."""
+    widths = [
+        max(len(row[col]) for row in rows if col < len(row))
+        for col in range(max(len(r) for r in rows))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        cells = [cell.rjust(widths[c]) for c, cell in enumerate(row)]
+        lines.append("  " + "  ".join(cells))
+        if i == 0:
+            lines.append("  " + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def scenario_markdown(result: ScenarioResult, metric: Optional[str] = None) -> str:
+    """Markdown rendering for EXPERIMENTS.md."""
+    scenario = result.scenario
+    metric = metric or scenario.metric
+    unit = _metric_unit(metric)
+    xs = result.xs()
+    lines = [
+        f"| {scenario.x_label} | " + " | ".join(str(x) for x in xs) + " |",
+        "|" + "---|" * (len(xs) + 1),
+    ]
+    for sched in scenario.schedulers:
+        series = result.series(sched.label, metric)
+        lines.append(
+            f"| {sched.label} ({unit}) | "
+            + " | ".join(_fmt_value(metric, v) for v in series)
+            + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""The simulated front-end client.
+
+A client generates multiget requests from its workload factory, resolves
+each key to a server through replica placement, lets the scheduling
+policy's tagger stamp priorities (using client-local estimates only),
+dispatches the operations over the network, and aggregates responses.
+The request's completion time is recorded when its last response arrives —
+the end-user view of latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.core.estimator import ServerEstimates
+from repro.kvstore.items import Feedback, OpKind, Operation, Request, Response
+from repro.kvstore.network import NetworkModel
+from repro.kvstore.replication import ReplicaPlacement
+from repro.kvstore.service import ServiceModel
+from repro.metrics.collector import MetricsCollector
+from repro.schedulers.base import ClientTagger
+from repro.sim.core import Environment
+from repro.workload.requests import RequestFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvstore.server import Server
+
+
+class Client:
+    """One front-end issuing multiget requests into the cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_id: int,
+        factory: RequestFactory,
+        placement: ReplicaPlacement,
+        tagger: ClientTagger,
+        estimates: Optional[ServerEstimates],
+        network: NetworkModel,
+        servers: Dict[int, "Server"],
+        metrics: MetricsCollector,
+        reference_service: ServiceModel,
+        max_requests: Optional[int] = None,
+        end_time: Optional[float] = None,
+        request_id_base: int = 0,
+        on_finished: Optional[Callable[["Client"], None]] = None,
+        op_timeout: Optional[float] = None,
+        max_retries: int = 0,
+    ):
+        if op_timeout is not None and op_timeout <= 0:
+            raise ValueError("op_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.env = env
+        self.client_id = client_id
+        self.factory = factory
+        self.placement = placement
+        self.tagger = tagger
+        self.estimates = estimates
+        self.network = network
+        self.servers = servers
+        self.metrics = metrics
+        self.reference_service = reference_service
+        self.max_requests = max_requests
+        self.end_time = end_time
+        self._next_request_id = request_id_base
+        self._on_finished = on_finished
+
+        self.op_timeout = op_timeout
+        self.max_retries = max_retries
+        self.requests_sent = 0
+        self.requests_completed = 0
+        self.retries_sent = 0
+        self.timeouts_observed = 0
+        self.generation_done = False
+        #: request_id -> indexes of operations still awaiting a response.
+        self._pending: Dict[int, set] = {}
+        self._inflight: Dict[int, Request] = {}
+        #: (request_id, index) -> attempts made so far (1 = original send).
+        self._attempts: Dict[tuple, int] = {}
+        self.process = env.process(self._generate())
+
+    # ------------------------------------------------------------------
+    # Request generation
+    # ------------------------------------------------------------------
+    def _generate(self):
+        env = self.env
+        while True:
+            if self.max_requests is not None and self.requests_sent >= self.max_requests:
+                break
+            gap = self.factory.next_interarrival(env.now)
+            if gap == float("inf"):
+                break  # trace exhausted
+            if self.end_time is not None and env.now + gap > self.end_time:
+                break
+            yield env.timeout(gap)
+            self._dispatch(self._build_request())
+        self.generation_done = True
+        if self._on_finished is not None:
+            self._on_finished(self)
+
+    def _build_request(self) -> Request:
+        descriptor = self.factory.make_request()
+        request = Request(
+            request_id=self._next_request_id,
+            client_id=self.client_id,
+            arrival_time=self.env.now,
+        )
+        self._next_request_id += 1
+        for i, (key, size, is_put) in enumerate(
+            zip(descriptor.keys, descriptor.sizes, descriptor.is_put)
+        ):
+            if is_put:
+                server_id = self.placement.write_set(key)[0]
+                kind = OpKind.PUT
+            else:
+                server_id = self.placement.select_read_replica(key)
+                kind = OpKind.GET
+            op = Operation(
+                request=request,
+                key=key,
+                kind=kind,
+                value_size=size,
+                server_id=server_id,
+                demand=self.reference_service.demand(size),
+                index=i,
+            )
+            request.operations.append(op)
+        return request
+
+    def _dispatch(self, request: Request) -> None:
+        now = self.env.now
+        self.tagger.tag_request(request, now, self.estimates)
+        self._pending[request.request_id] = {op.index for op in request.operations}
+        self._inflight[request.request_id] = request
+        self.requests_sent += 1
+        for op in request.operations:
+            self._attempts[(request.request_id, op.index)] = 1
+            self._send_op(op)
+
+    def _send_op(self, op: Operation) -> None:
+        now = self.env.now
+        op.dispatch_time = now
+        server = self.servers[op.server_id]
+        self.network.send(
+            ("client", self.client_id),
+            ("server", op.server_id),
+            op,
+            server.handle_operation,
+            size_bytes=len(op.key),
+        )
+        if self.op_timeout is not None:
+            self._arm_timeout(op)
+
+    def _arm_timeout(self, op: Operation) -> None:
+        key = (op.request_id, op.index)
+        attempt = self._attempts[key]
+        timer = self.env.timeout(self.op_timeout)
+        timer.callbacks.append(
+            lambda _event: self._on_op_timeout(op, attempt)
+        )
+
+    def _on_op_timeout(self, op: Operation, attempt: int) -> None:
+        """Retry an operation whose response did not arrive in time.
+
+        A stale timer (the response arrived, or a newer attempt is already
+        out) is ignored.  The retry goes to the next replica in the key's
+        preference list, so a single-server outage is survivable when the
+        key is replicated.
+        """
+        key = (op.request_id, op.index)
+        outstanding = self._pending.get(op.request_id)
+        if outstanding is None or op.index not in outstanding:
+            return  # already answered
+        if self._attempts.get(key) != attempt:
+            return  # a newer attempt owns this slot
+        self.timeouts_observed += 1
+        if attempt > self.max_retries:
+            return  # retry budget exhausted; wait for the original
+        self._attempts[key] = attempt + 1
+        replicas = self.placement.replicas(op.key)
+        target = replicas[attempt % len(replicas)]
+        retry = Operation(
+            request=op.request,
+            key=op.key,
+            kind=op.kind,
+            value_size=op.value_size,
+            server_id=target,
+            demand=op.demand,
+            tag=dict(op.tag),
+            index=op.index,
+        )
+        self.retries_sent += 1
+        self._send_op(retry)
+
+    # ------------------------------------------------------------------
+    # Response handling
+    # ------------------------------------------------------------------
+    def handle_response(self, response: Response) -> None:
+        """Network delivery point for one operation's completion."""
+        now = self.env.now
+        op = response.operation
+        op.response_time = now
+        if response.feedback is not None and self.estimates is not None:
+            self.estimates.observe(response.feedback)
+        self.metrics.record_op_completion(response.ok)
+
+        outstanding = self._pending.get(op.request_id)
+        if outstanding is None or op.index not in outstanding:
+            return  # duplicate (late original after a successful retry)
+        outstanding.discard(op.index)
+        self._attempts.pop((op.request_id, op.index), None)
+        # Record the finish on the canonical operation so request-level
+        # accounting (remaining, residual) sees retried ops as done.
+        request = self._inflight[op.request_id]
+        canonical = request.operations[op.index]
+        if canonical.finish_time != canonical.finish_time:  # still NaN
+            canonical.finish_time = op.finish_time
+            canonical.response_time = now
+        if outstanding:
+            return
+        del self._pending[op.request_id]
+        del self._inflight[op.request_id]
+        request.completion_time = now
+        self.requests_completed += 1
+        self.metrics.record_request(request)
+        if self._on_finished is not None:
+            self._on_finished(self)
+
+    def receive_feedback(self, feedback: Feedback) -> None:
+        """Delivery point for broadcast (periodic-mode) feedback."""
+        if self.estimates is not None:
+            self.estimates.observe(feedback)
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests dispatched but not yet fully answered."""
+        return len(self._pending)
+
+    @property
+    def drained(self) -> bool:
+        """True when generation ended and every request completed."""
+        return self.generation_done and not self._pending
+
+    def __repr__(self) -> str:
+        return (
+            f"Client(id={self.client_id}, sent={self.requests_sent}, "
+            f"done={self.requests_completed})"
+        )

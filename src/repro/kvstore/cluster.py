@@ -1,0 +1,289 @@
+"""Cluster assembly: build every component from a config and run it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.estimator import ServerEstimates
+from repro.core.feedback import FeedbackMode
+from repro.errors import ConfigError
+from repro.kvstore.client import Client
+from repro.kvstore.config import ClusterConfig, SimulationConfig
+from repro.kvstore.network import UniformLatencyNetwork
+from repro.kvstore.partitioning import ConsistentHashRing
+from repro.kvstore.replication import ReplicaPlacement
+from repro.kvstore.server import Server, make_periodic_broadcaster
+from repro.kvstore.service import ServiceModel
+from repro.kvstore.storage import StorageEngine
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import SummaryStats
+from repro.schedulers.base import QueueContext
+from repro.schedulers.registry import create_policy
+from repro.sim.core import Environment
+from repro.sim.rand import RandomStreams
+from repro.workload.requests import (
+    Keyspace,
+    RequestFactory,
+    RequestSpec,
+    TraceReplayFactory,
+)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    config: ClusterConfig
+    sim: SimulationConfig
+    collector: MetricsCollector
+    warmup_time: float
+    sim_time: float
+    server_utilizations: List[float]
+    requests_sent: int
+    requests_completed: int
+
+    def summary(self) -> SummaryStats:
+        """RCT summary over the steady-state window."""
+        return self.collector.summary(self.warmup_time)
+
+    @property
+    def mean_rct(self) -> float:
+        return self.collector.mean_rct(self.warmup_time)
+
+    def rcts(self):
+        return self.collector.rcts(self.warmup_time)
+
+    def percentile(self, q: float) -> float:
+        import numpy as np
+
+        return float(np.percentile(self.rcts(), q))
+
+    @property
+    def mean_utilization(self) -> float:
+        u = self.server_utilizations
+        return sum(u) / len(u) if u else 0.0
+
+
+class Cluster:
+    """A fully wired simulated KV cluster.
+
+    Build once per run (components hold simulation state); ``run`` executes
+    the configured stopping rule and returns a :class:`RunResult`.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.metrics = MetricsCollector()
+
+        self.keyspace = Keyspace(
+            config.keyspace_size, config.sizes, self.streams.stream("keyspace")
+        )
+        self.ring = ConsistentHashRing(range(config.n_servers), vnodes=config.vnodes)
+
+        jitter_rng = (
+            self.streams.stream("network") if config.network_jitter_mean > 0 else None
+        )
+        self.network = UniformLatencyNetwork(
+            self.env,
+            base_delay=config.network_base_delay,
+            jitter_mean=config.network_jitter_mean,
+            rng=jitter_rng,
+        )
+
+        #: The reference service model converts value sizes to demands for
+        #: clients; it never samples noise or degradation.
+        self.reference_service = ServiceModel(
+            per_op_overhead=config.service.per_op_overhead,
+            byte_rate=config.service.byte_rate,
+        )
+
+        self.policy = create_policy(config.scheduler, **config.scheduler_params)
+        self.servers: Dict[int, Server] = {}
+        for sid in range(config.n_servers):
+            self.servers[sid] = self._build_server(sid)
+        self._preload_storage()
+
+        self.clients: List[Client] = []
+        self._done_event = self.env.event()
+        for cid in range(config.n_clients):
+            self.clients.append(self._build_client(cid))
+        for server in self.servers.values():
+            for client in self.clients:
+                server.clients[client.client_id] = client
+
+        if config.feedback.periodic:
+            self._start_periodic_feedback()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_server(self, sid: int) -> Server:
+        cfg = self.config
+        base_speed = cfg.server_speeds[sid] if cfg.server_speeds is not None else 1.0
+        noise_rng = (
+            self.streams.stream(f"service/{sid}") if cfg.service.noise_cv > 0 else None
+        )
+        service = ServiceModel(
+            per_op_overhead=cfg.service.per_op_overhead,
+            byte_rate=cfg.service.byte_rate,
+            base_speed=base_speed,
+            degradations=cfg.degradations.get(sid, ()),
+            noise_cv=cfg.service.noise_cv,
+            rng=noise_rng,
+        )
+        queue = self.policy.make_queue(
+            QueueContext(server_id=sid, rng=self.streams.stream(f"sched/{sid}"))
+        )
+        return Server(
+            env=self.env,
+            server_id=sid,
+            queue=queue,
+            service=service,
+            storage=StorageEngine(server_id=sid),
+            network=self.network,
+            piggyback_feedback=cfg.feedback.piggyback,
+            outages=cfg.outages.get(sid, ()),
+        )
+
+    def _preload_storage(self) -> None:
+        """Populate every server with the keys it owns (all replicas)."""
+        n = self.config.replication_factor
+        for idx in range(self.keyspace.size):
+            key = self.keyspace.key_name(idx)
+            size = self.keyspace.value_size(idx)
+            for sid in self.ring.preference_list(key, n):
+                self.servers[sid].storage.put(key, size, now=0.0)
+
+    def _build_client(self, cid: int) -> Client:
+        cfg = self.config
+        if cfg.trace is not None:
+            factory = TraceReplayFactory(
+                cfg.trace, start=cid, stride=cfg.n_clients
+            )
+        else:
+            spec = RequestSpec(
+                arrivals=cfg.arrivals.scaled(1.0 / cfg.n_clients),
+                fanout=cfg.fanout,
+                popularity=cfg.popularity,
+                put_fraction=cfg.put_fraction,
+            )
+            factory = RequestFactory(
+                spec,
+                self.keyspace,
+                rng_arrivals=self.streams.stream(f"arrivals/{cid}"),
+                rng_fanout=self.streams.stream(f"fanout/{cid}"),
+                rng_keys=self.streams.stream(f"keys/{cid}"),
+                rng_kind=(
+                    self.streams.stream(f"kind/{cid}") if cfg.put_fraction > 0 else None
+                ),
+            )
+        estimates = None
+        if cfg.feedback.mode is not FeedbackMode.NONE:
+            estimates = ServerEstimates(**cfg.estimator_params)
+        selection_rng = (
+            self.streams.stream(f"replica/{cid}")
+            if cfg.replica_selection == "random"
+            else None
+        )
+        work_estimate = None
+        if cfg.replica_selection == "least_estimated_work":
+            if estimates is None:
+                raise ConfigError(
+                    "least_estimated_work replica selection requires feedback"
+                )
+            snapshot = estimates
+
+            def work_estimate(sid: int, _view=snapshot) -> float:
+                return _view.queued_work(sid, self.env.now)
+
+        placement = ReplicaPlacement(
+            self.ring,
+            replication_factor=cfg.replication_factor,
+            selection=cfg.replica_selection,
+            rng=selection_rng,
+            work_estimate=work_estimate,
+        )
+        # Request ids are partitioned per client so they are globally unique.
+        return Client(
+            env=self.env,
+            client_id=cid,
+            factory=factory,
+            placement=placement,
+            tagger=self.policy.make_tagger(),
+            estimates=estimates,
+            network=self.network,
+            servers=self.servers,
+            metrics=self.metrics,
+            reference_service=self.reference_service,
+            request_id_base=cid * 1_000_000_000,
+            on_finished=self._check_drained,
+            op_timeout=cfg.op_timeout,
+            max_retries=cfg.max_retries,
+        )
+
+    def _start_periodic_feedback(self) -> None:
+        interval = self.config.feedback.interval
+
+        def deliver_factory(server: Server):
+            def deliver(feedback):
+                for client in self.clients:
+                    self.network.send(
+                        ("server", server.server_id),
+                        ("client", client.client_id),
+                        feedback,
+                        client.receive_feedback,
+                    )
+
+            return deliver
+
+        for server in self.servers.values():
+            self.env.process(
+                make_periodic_broadcaster(
+                    self.env, server, interval, deliver_factory(server)
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _check_drained(self, _client: Client) -> None:
+        if self._done_event.triggered:
+            return
+        if all(c.drained for c in self.clients):
+            self._done_event.succeed()
+
+    def run(self, sim: SimulationConfig) -> RunResult:
+        """Execute the configured stopping rule and summarize."""
+        if sim.max_requests is not None:
+            per_client = sim.max_requests // len(self.clients)
+            extra = sim.max_requests % len(self.clients)
+            for i, client in enumerate(self.clients):
+                client.max_requests = per_client + (1 if i < extra else 0)
+            self.env.run(until=self._done_event)
+            warmup_time = self.metrics.warmup_time_for_fraction(sim.warmup_fraction)
+        else:
+            for client in self.clients:
+                client.end_time = sim.duration
+            self.env.run(until=sim.duration)
+            warmup_time = sim.warmup_fraction * sim.duration
+        elapsed = max(self.env.now, 1e-12)
+        return RunResult(
+            config=self.config,
+            sim=sim,
+            collector=self.metrics,
+            warmup_time=warmup_time,
+            sim_time=self.env.now,
+            server_utilizations=[
+                s.utilization(elapsed) for s in self.servers.values()
+            ],
+            requests_sent=sum(c.requests_sent for c in self.clients),
+            requests_completed=sum(c.requests_completed for c in self.clients),
+        )
+
+
+def run_cluster(config: ClusterConfig, sim: SimulationConfig) -> RunResult:
+    """Convenience one-shot: build a cluster and run it."""
+    return Cluster(config).run(sim)

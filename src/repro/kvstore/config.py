@@ -1,0 +1,155 @@
+"""Declarative configuration for a simulated cluster run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.feedback import FeedbackConfig
+from repro.errors import ConfigError
+from repro.kvstore.service import DegradationEvent
+from repro.workload.arrivals import ArrivalSpec, PoissonArrivals
+from repro.workload.fanout import FanoutSpec, GeometricFanout
+from repro.workload.popularity import PopularitySpec, ZipfPopularity
+from repro.workload.sizes import LognormalSize, SizeSpec
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Per-operation service cost parameters (shared by all servers).
+
+    Defaults give a mean demand of ~130 microseconds for ~1.7 KiB values —
+    a deliberately "fat" operation so simulations need fewer events per
+    simulated second; scheduler comparisons are invariant to this scale.
+    """
+
+    per_op_overhead: float = 100e-6
+    byte_rate: float = 50e6
+    noise_cv: float = 0.1
+
+    def __post_init__(self):
+        if self.per_op_overhead < 0:
+            raise ConfigError("per_op_overhead must be >= 0")
+        if self.byte_rate <= 0:
+            raise ConfigError("byte_rate must be positive")
+        if self.noise_cv < 0:
+            raise ConfigError("noise_cv must be >= 0")
+
+    def mean_demand(self, mean_value_size: float) -> float:
+        """Reference-server demand of an average operation."""
+        return self.per_op_overhead + mean_value_size / self.byte_rate
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build a reproducible simulated cluster."""
+
+    n_servers: int = 20
+    n_clients: int = 4
+    seed: int = 1
+
+    scheduler: str = "das"
+    scheduler_params: Dict[str, Any] = field(default_factory=dict)
+
+    keyspace_size: int = 20_000
+    arrivals: ArrivalSpec = field(default_factory=lambda: PoissonArrivals(rate=1000.0))
+    fanout: FanoutSpec = field(default_factory=lambda: GeometricFanout(mean_target=5.0))
+    sizes: SizeSpec = field(default_factory=lambda: LognormalSize(median=1024.0, sigma=1.0, cap=1 << 18))
+    popularity: PopularitySpec = field(default_factory=lambda: ZipfPopularity(s=0.99))
+    put_fraction: float = 0.0
+
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Static heterogeneity: per-server nominal speed; None = all 1.0.
+    server_speeds: Optional[Tuple[float, ...]] = None
+    #: Scheduled speed changes, keyed by server id.
+    degradations: Dict[int, Tuple[DegradationEvent, ...]] = field(default_factory=dict)
+
+    network_base_delay: float = 50e-6
+    network_jitter_mean: float = 0.0
+
+    replication_factor: int = 1
+    replica_selection: str = "primary"
+    vnodes: int = 64
+
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    #: ServerEstimates knobs for feedback-driven policies.
+    estimator_params: Dict[str, Any] = field(default_factory=dict)
+    #: When set, clients replay these TraceRecords (round-robin) instead of
+    #: sampling from arrivals/fanout/popularity.
+    trace: Optional[Tuple[Any, ...]] = None
+
+    #: Fault injection: per-server (start, end) outage windows during which
+    #: the server serves nothing.
+    outages: Dict[int, Tuple[Tuple[float, float], ...]] = field(default_factory=dict)
+    #: Client-side operation timeout; a timed-out operation is retried on
+    #: the next replica (requires replication_factor > 1 to change server).
+    op_timeout: Optional[float] = None
+    #: Retries per operation after the original send (0 = no retries).
+    max_retries: int = 0
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ConfigError("n_servers must be >= 1")
+        if self.n_clients < 1:
+            raise ConfigError("n_clients must be >= 1")
+        if self.keyspace_size < 1:
+            raise ConfigError("keyspace_size must be >= 1")
+        if not 0.0 <= self.put_fraction <= 1.0:
+            raise ConfigError("put_fraction must be in [0, 1]")
+        if self.server_speeds is not None and len(self.server_speeds) != self.n_servers:
+            raise ConfigError(
+                f"server_speeds has {len(self.server_speeds)} entries for "
+                f"{self.n_servers} servers"
+            )
+        if self.server_speeds is not None and any(s <= 0 for s in self.server_speeds):
+            raise ConfigError("all server speeds must be positive")
+        for sid in self.degradations:
+            if not 0 <= sid < self.n_servers:
+                raise ConfigError(f"degradation for unknown server {sid}")
+        for sid, windows in self.outages.items():
+            if not 0 <= sid < self.n_servers:
+                raise ConfigError(f"outage for unknown server {sid}")
+            for start, end in windows:
+                if start < 0 or end <= start:
+                    raise ConfigError(
+                        f"invalid outage window ({start}, {end}) on server {sid}"
+                    )
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ConfigError("op_timeout must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.max_retries > 0 and self.op_timeout is None:
+            raise ConfigError("max_retries > 0 requires op_timeout")
+        if self.replication_factor > self.n_servers:
+            raise ConfigError("replication_factor exceeds n_servers")
+        if self.network_base_delay < 0 or self.network_jitter_mean < 0:
+            raise ConfigError("network delays must be >= 0")
+
+    def mean_speed(self) -> float:
+        if self.server_speeds is None:
+            return 1.0
+        return sum(self.server_speeds) / len(self.server_speeds)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """How long to run and what to measure.
+
+    Exactly one stopping rule applies: when ``max_requests`` is set the
+    run ends once that many requests have been generated *and* completed;
+    otherwise the clock stops at ``duration`` seconds.
+    """
+
+    duration: Optional[float] = None
+    max_requests: Optional[int] = None
+    warmup_fraction: float = 0.1
+
+    def __post_init__(self):
+        if (self.duration is None) == (self.max_requests is None):
+            raise ConfigError("set exactly one of duration / max_requests")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigError("duration must be positive")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ConfigError("max_requests must be >= 1")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ConfigError("warmup_fraction must be in [0, 1)")

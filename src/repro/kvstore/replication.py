@@ -1,0 +1,104 @@
+"""Replica placement and read-replica selection.
+
+Keys are replicated on the first ``replication_factor`` distinct servers
+clockwise from their ring position (Dynamo-style).  GET operations may be
+served by any replica; the *selection policy* decides which, and is one of
+the levers a front-end has besides scheduling (the paper's evaluation uses
+primary-only reads; the other policies support our extension experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kvstore.partitioning import ConsistentHashRing
+
+SelectionFn = Callable[[List[int]], int]
+
+
+class ReplicaPlacement:
+    """Maps keys to replica sets and picks a read replica per operation.
+
+    Parameters
+    ----------
+    ring:
+        The consistent-hash ring.
+    replication_factor:
+        Number of replicas per key (1 = no replication).
+    selection:
+        ``"primary"`` — always read the first replica (paper default);
+        ``"round_robin"`` — rotate over replicas per key;
+        ``"random"`` — uniform random replica;
+        ``"least_estimated_work"`` — pick the replica the client currently
+        estimates to be least loaded (requires an estimate callback).
+    rng:
+        Random generator for the ``"random"`` policy.
+    work_estimate:
+        Callable ``server_id -> estimated queued work`` used by
+        ``"least_estimated_work"``.
+    """
+
+    POLICIES = ("primary", "round_robin", "random", "least_estimated_work")
+
+    def __init__(
+        self,
+        ring: ConsistentHashRing,
+        replication_factor: int = 1,
+        selection: str = "primary",
+        rng: Optional[np.random.Generator] = None,
+        work_estimate: Optional[Callable[[int], float]] = None,
+    ):
+        if replication_factor < 1:
+            raise ConfigError("replication_factor must be >= 1")
+        if replication_factor > len(ring.servers):
+            raise ConfigError(
+                f"replication_factor {replication_factor} exceeds cluster "
+                f"size {len(ring.servers)}"
+            )
+        if selection not in self.POLICIES:
+            raise ConfigError(
+                f"unknown selection policy {selection!r}; one of {self.POLICIES}"
+            )
+        if selection == "random" and rng is None:
+            raise ConfigError("selection='random' requires an rng")
+        if selection == "least_estimated_work" and work_estimate is None:
+            raise ConfigError(
+                "selection='least_estimated_work' requires a work_estimate callback"
+            )
+        self.ring = ring
+        self.replication_factor = replication_factor
+        self.selection = selection
+        self._rng = rng
+        self._work_estimate = work_estimate
+        self._rr_counters: Dict[str, int] = {}
+
+    def replicas(self, key: str) -> List[int]:
+        """The full replica set for ``key`` (primary first)."""
+        return self.ring.preference_list(key, self.replication_factor)
+
+    def select_read_replica(self, key: str) -> int:
+        """Choose the server that will serve a GET for ``key``."""
+        candidates = self.replicas(key)
+        if len(candidates) == 1 or self.selection == "primary":
+            return candidates[0]
+        if self.selection == "round_robin":
+            counter = self._rr_counters.get(key, 0)
+            self._rr_counters[key] = counter + 1
+            return candidates[counter % len(candidates)]
+        if self.selection == "random":
+            return candidates[int(self._rng.integers(0, len(candidates)))]
+        # least_estimated_work
+        return min(candidates, key=lambda sid: (self._work_estimate(sid), sid))
+
+    def write_set(self, key: str) -> List[int]:
+        """Servers a PUT must reach (all replicas)."""
+        return self.replicas(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaPlacement(n={self.replication_factor}, "
+            f"selection={self.selection!r})"
+        )

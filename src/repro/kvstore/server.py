@@ -1,0 +1,223 @@
+"""The simulated key-value server.
+
+One server = one storage engine + one scheduler queue + one service loop.
+The loop is non-preemptive and work-conserving: whenever operations are
+queued it serves the one the scheduler picks, for a service time drawn
+from the server's :class:`~repro.kvstore.service.ServiceModel` (which may
+degrade over time).  Completions are shipped back to the issuing client
+with optional piggybacked feedback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.estimator import EwmaEstimator
+from repro.errors import KeyNotFoundError
+from repro.kvstore.items import Feedback, OpKind, Operation, Response
+from repro.kvstore.network import NetworkModel
+from repro.kvstore.service import ServiceModel
+from repro.kvstore.storage import StorageEngine
+from repro.schedulers.base import ServerQueue
+from repro.sim.core import Environment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvstore.client import Client
+
+
+class Server:
+    """A simulated KV server with a pluggable scheduling queue."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        queue: ServerQueue,
+        service: ServiceModel,
+        storage: StorageEngine,
+        network: NetworkModel,
+        piggyback_feedback: bool = True,
+        rate_alpha: float = 0.2,
+        outages: tuple = (),
+    ):
+        self.env = env
+        self.server_id = server_id
+        self.queue = queue
+        self.service = service
+        self.storage = storage
+        self.network = network
+        self.piggyback_feedback = piggyback_feedback
+        #: Fault-injection windows: during an ``(start, end)`` outage the
+        #: server serves nothing; queued operations wait it out.  An
+        #: in-flight operation started before the outage still completes
+        #: (non-preemptive service).
+        self.outages = tuple(sorted(outages))
+        for start, end in self.outages:
+            if end <= start or start < 0:
+                raise ValueError(f"invalid outage window ({start}, {end})")
+        #: client_id -> Client, wired by the cluster after construction.
+        self.clients: dict[int, "Client"] = {}
+
+        self._wakeup = None
+        self._current_finish: Optional[float] = None
+        self._rate_ewma = EwmaEstimator(rate_alpha, initial=service.base_speed)
+
+        self.ops_served = 0
+        self.ops_failed = 0
+        self.busy_time = 0.0
+        self.process = env.process(self._run())
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def handle_operation(self, op: Operation) -> None:
+        """Network delivery point for a dispatched operation."""
+        self.queue.push(op, self.env.now)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _outage_end(self, now: float) -> Optional[float]:
+        """End of the outage covering ``now``, or None when up."""
+        for start, end in self.outages:
+            if start <= now < end:
+                return end
+            if start > now:
+                break
+        return None
+
+    def _run(self):
+        env = self.env
+        while True:
+            outage_end = self._outage_end(env.now)
+            if outage_end is not None:
+                yield env.timeout(outage_end - env.now)
+                continue
+            if len(self.queue) == 0:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            op = self.queue.pop(env.now)
+            op.start_time = env.now
+            ok, size = self._execute(op)
+            service_time = self.service.sample_service_time(size, env.now)
+            self._current_finish = env.now + service_time
+            yield env.timeout(service_time)
+            op.finish_time = env.now
+            self._current_finish = None
+            self.busy_time += service_time
+            # Learn our own effective rate from the completed operation.
+            observed = self.service.rate_sample(op.demand, service_time)
+            self._rate_ewma.update(observed)
+            self.queue.on_service_complete(op, env.now)
+            if ok:
+                self.ops_served += 1
+            else:
+                self.ops_failed += 1
+            self._respond(op, ok, size)
+
+    def _execute(self, op: Operation) -> tuple[bool, int]:
+        """Run the operation against the storage engine.
+
+        Returns (ok, bytes_moved); a miss still consumes overhead time but
+        moves no value bytes.
+        """
+        now = self.env.now
+        if op.kind is OpKind.PUT:
+            self.storage.put(op.key, op.value_size, now=now)
+            return True, op.value_size
+        try:
+            record = self.storage.get(op.key, now=now)
+        except KeyNotFoundError:
+            return False, 0
+        return True, record.size
+
+    def _respond(self, op: Operation, ok: bool, size: int) -> None:
+        feedback = self.make_feedback() if self.piggyback_feedback else None
+        response = Response(
+            operation=op,
+            ok=ok,
+            value_size=size,
+            feedback=feedback,
+            error=None if ok else "key not found",
+        )
+        client = self.clients.get(op.request.client_id)
+        if client is None:  # pragma: no cover - wiring error
+            raise RuntimeError(
+                f"server {self.server_id} has no route to client "
+                f"{op.request.client_id}"
+            )
+        self.network.send(
+            ("server", self.server_id),
+            ("client", client.client_id),
+            response,
+            client.handle_response,
+            size_bytes=size,
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback & introspection
+    # ------------------------------------------------------------------
+    @property
+    def measured_rate(self) -> float:
+        """EWMA of observed service speed (demand-seconds per second)."""
+        return self._rate_ewma.value_or(self.service.base_speed)
+
+    def in_service_residual(self, now: float) -> float:
+        """Remaining service time of the operation on the CPU, if any."""
+        if self._current_finish is None:
+            return 0.0
+        return max(0.0, self._current_finish - now)
+
+    def make_feedback(self) -> Feedback:
+        """Snapshot this server's congestion for clients.
+
+        Queued demand is converted to wall time by the *measured* rate, so
+        a degraded server correctly reports a longer backlog than its
+        queue's raw demand suggests.
+        """
+        now = self.env.now
+        rate = max(self.measured_rate, 1e-9)
+        queued_seconds = self.queue.queued_demand / rate + self.in_service_residual(now)
+        return Feedback(
+            server_id=self.server_id,
+            queued_work=queued_seconds,
+            queue_length=len(self.queue),
+            rate_sample=self.measured_rate,
+            timestamp=now,
+        )
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent serving operations."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(id={self.server_id}, queued={len(self.queue)}, "
+            f"served={self.ops_served})"
+        )
+
+
+def make_periodic_broadcaster(
+    env: Environment,
+    server: Server,
+    interval: float,
+    deliver: Callable[[Feedback], None],
+):
+    """Process generator broadcasting feedback snapshots every ``interval``.
+
+    ``deliver`` receives the snapshot and is responsible for fanning it out
+    to clients (the cluster wires this through the network model).
+    """
+
+    def _broadcast():
+        while True:
+            yield env.timeout(interval)
+            deliver(server.make_feedback())
+
+    return _broadcast()

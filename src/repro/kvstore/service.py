@@ -1,0 +1,140 @@
+"""Service-time model with time-varying server performance.
+
+Operation service time on server ``s`` at time ``t``:
+
+    service = (per_op_overhead + value_bytes / byte_rate) / speed_factor_s(t)
+
+The parenthesised term is the *demand*: the time on a nominal-speed
+reference server.  ``speed_factor_s(t)`` is a step function driven by
+:class:`DegradationEvent` schedules — this is the "time-varying server
+performance" axis the paper's adaptivity targets.  Optional service-time
+noise models OS jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """At ``time``, the server's speed factor becomes ``factor``.
+
+    ``factor`` is relative to nominal: 1.0 = full speed, 0.4 = degraded to
+    40%.  A recovery is simply another event with factor 1.0.
+    """
+
+    time: float
+    factor: float
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ConfigError(f"speed factor must be positive, got {self.factor}")
+        if self.time < 0:
+            raise ConfigError(f"degradation time must be >= 0, got {self.time}")
+
+
+class ServiceModel:
+    """Computes demands and samples actual service times for one server.
+
+    Parameters
+    ----------
+    per_op_overhead:
+        Fixed per-operation cost in seconds (parse, index lookup, syscall).
+    byte_rate:
+        Value-processing throughput in bytes/second at nominal speed.
+    base_speed:
+        Static heterogeneity: this server's nominal speed relative to the
+        reference server (1.0 = reference).
+    degradations:
+        Time-ordered speed-factor changes (need not be pre-sorted).
+    noise_cv:
+        Coefficient of variation of multiplicative lognormal service noise;
+        0 disables noise.
+    rng:
+        Generator for the noise; required when ``noise_cv > 0``.
+    """
+
+    def __init__(
+        self,
+        per_op_overhead: float = 20e-6,
+        byte_rate: float = 200e6,
+        base_speed: float = 1.0,
+        degradations: Optional[Sequence[DegradationEvent]] = None,
+        noise_cv: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if per_op_overhead < 0:
+            raise ConfigError("per_op_overhead must be >= 0")
+        if byte_rate <= 0:
+            raise ConfigError("byte_rate must be positive")
+        if base_speed <= 0:
+            raise ConfigError("base_speed must be positive")
+        if noise_cv < 0:
+            raise ConfigError("noise_cv must be >= 0")
+        if noise_cv > 0 and rng is None:
+            raise ConfigError("noise_cv > 0 requires an rng")
+        self.per_op_overhead = per_op_overhead
+        self.byte_rate = byte_rate
+        self.base_speed = base_speed
+        self.noise_cv = noise_cv
+        self._rng = rng
+        events = sorted(degradations or [], key=lambda e: e.time)
+        self._deg_times = [e.time for e in events]
+        self._deg_factors = [e.factor for e in events]
+        if noise_cv > 0:
+            # Lognormal with mean 1 and the requested CV.
+            self._sigma2 = float(np.log(1.0 + noise_cv**2))
+            self._mu = -self._sigma2 / 2.0
+
+    # ------------------------------------------------------------------
+    def demand(self, value_size: int) -> float:
+        """Reference-server service demand for a value of ``value_size``."""
+        if value_size < 0:
+            raise ConfigError(f"negative value size {value_size}")
+        return self.per_op_overhead + value_size / self.byte_rate
+
+    def speed_factor(self, now: float) -> float:
+        """Current speed multiplier (base heterogeneity × degradation)."""
+        factor = self.base_speed
+        # Find the last degradation event at or before `now`.
+        import bisect
+
+        idx = bisect.bisect_right(self._deg_times, now) - 1
+        if idx >= 0:
+            factor *= self._deg_factors[idx]
+        return factor
+
+    def sample_service_time(self, value_size: int, now: float) -> float:
+        """Actual service time for an operation starting at ``now``."""
+        base = self.demand(value_size) / self.speed_factor(now)
+        if self.noise_cv > 0:
+            base *= float(self._rng.lognormal(self._mu, self._sigma2**0.5))
+        return base
+
+    def rate_sample(self, demand: float, actual: float) -> float:
+        """Observed speed for a completed op: demand seconds per wall second."""
+        if actual <= 0:
+            return self.base_speed
+        return demand / actual
+
+    def next_change_after(self, now: float) -> float:
+        """Time of the next scheduled speed change, or inf."""
+        import bisect
+
+        idx = bisect.bisect_right(self._deg_times, now)
+        if idx < len(self._deg_times):
+            return self._deg_times[idx]
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceModel(overhead={self.per_op_overhead}, "
+            f"byte_rate={self.byte_rate:.3g}, base_speed={self.base_speed}, "
+            f"degradations={len(self._deg_times)})"
+        )

@@ -1,0 +1,57 @@
+"""Windowed time series — per-interval means for timeline plots (E4/E5)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class WindowedSeries:
+    """Aggregates (time, value) points into fixed-width window means.
+
+    Used to plot mean RCT over time during load transitions and server
+    degradations: each completed request contributes its RCT to the window
+    containing its completion time.
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ConfigError("window must be positive")
+        self.window = window
+        self._sums: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+
+    def add(self, t: float, value: float) -> None:
+        """Record ``value`` at time ``t``."""
+        if t < 0:
+            raise ConfigError(f"negative time {t}")
+        idx = int(t / self.window)
+        self._sums[idx] = self._sums.get(idx, 0.0) + value
+        self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def series(self) -> List[Tuple[float, float, int]]:
+        """Sorted (window_center_time, mean_value, count) triples."""
+        out = []
+        for idx in sorted(self._counts):
+            center = (idx + 0.5) * self.window
+            out.append((center, self._sums[idx] / self._counts[idx], self._counts[idx]))
+        return out
+
+    def times(self) -> np.ndarray:
+        return np.asarray([t for t, _, _ in self.series()])
+
+    def means(self) -> np.ndarray:
+        return np.asarray([m for _, m, _ in self.series()])
+
+    def max_mean(self) -> float:
+        """Worst window mean (the 'spike height' in adaptivity plots)."""
+        series = self.series()
+        if not series:
+            raise ConfigError("series is empty")
+        return max(m for _, m, _ in series)

@@ -1,0 +1,34 @@
+"""Asyncio runtime: a real (non-simulated) KV store with DAS scheduling.
+
+The same :mod:`repro.schedulers` queue implementations that drive the
+simulator order operations inside real asyncio TCP servers here — the
+point being that simulation results carry over to a runnable system.
+
+* :mod:`repro.runtime.protocol` — length-prefixed JSON wire protocol;
+* :mod:`repro.runtime.scheduling` — the scheduled executor wrapping a
+  :class:`~repro.schedulers.base.ServerQueue`;
+* :mod:`repro.runtime.server` — the TCP key-value server;
+* :mod:`repro.runtime.client` — the multiget client with DAS tagging;
+* :mod:`repro.runtime.cluster` — in-process cluster harness for demos
+  and integration tests.
+"""
+
+from repro.runtime.client import RuntimeClient
+from repro.runtime.loadgen import LoadGenerator, LoadgenResult
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.protocol import Message, read_message, write_message
+from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
+from repro.runtime.server import KVServer
+
+__all__ = [
+    "KVServer",
+    "LoadGenerator",
+    "LoadgenResult",
+    "LocalCluster",
+    "Message",
+    "QueuedOp",
+    "RuntimeClient",
+    "ScheduledExecutor",
+    "read_message",
+    "write_message",
+]

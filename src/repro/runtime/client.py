@@ -1,0 +1,231 @@
+"""Multiget client for the asyncio runtime.
+
+The client partitions keys over the servers with the same consistent-hash
+ring the simulator uses, stamps scheduler tags computed from client-local
+estimates (fed by feedback piggybacked on every reply), and gathers the
+fanned-out sub-requests — a faithful runtime twin of the simulated
+front-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import ServerEstimates
+from repro.errors import ProtocolError
+from repro.kvstore.items import Feedback
+from repro.kvstore.partitioning import ConsistentHashRing
+from repro.runtime.protocol import (
+    Message,
+    decode_value,
+    encode_value,
+    read_message,
+    write_message,
+)
+
+#: Assumed value size for keys never seen before (bytes).
+DEFAULT_SIZE_GUESS = 1024
+
+
+@dataclass
+class _Connection:
+    """One server connection plus its in-flight correlation table."""
+
+    server_id: int
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    pending: Dict[int, asyncio.Future]
+    reader_task: Optional[asyncio.Task] = None
+    write_lock: Optional[asyncio.Lock] = None
+
+
+class RuntimeClient:
+    """Client issuing gets/puts/multigets against a set of KV servers."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        byte_rate_hint: float = 100e6,
+        per_op_overhead_hint: float = 50e-6,
+        estimator: Optional[ServerEstimates] = None,
+    ):
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.ring = ConsistentHashRing(range(len(endpoints)))
+        self.estimates = estimator if estimator is not None else ServerEstimates()
+        self.byte_rate_hint = byte_rate_hint
+        self.per_op_overhead_hint = per_op_overhead_hint
+        self._size_cache: Dict[str, int] = {}
+        self._connections: Dict[int, _Connection] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        for server_id, (host, port) in enumerate(self.endpoints):
+            reader, writer = await asyncio.open_connection(host, port)
+            conn = _Connection(
+                server_id=server_id,
+                reader=reader,
+                writer=writer,
+                pending={},
+                write_lock=asyncio.Lock(),
+            )
+            conn.reader_task = asyncio.create_task(
+                self._read_loop(conn), name=f"kv-client-reader-{server_id}"
+            )
+            self._connections[server_id] = conn
+
+    async def close(self) -> None:
+        for conn in self._connections.values():
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+                try:
+                    await conn.reader_task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._connections.clear()
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            message = await read_message(conn.reader)
+            if message is None:
+                for fut in conn.pending.values():
+                    if not fut.done():
+                        fut.set_exception(ConnectionError("server closed connection"))
+                conn.pending.clear()
+                return
+            self._absorb_feedback(conn.server_id, message)
+            fut = conn.pending.pop(message.id, None)
+            if fut is not None and not fut.done():
+                fut.set_result(message)
+
+    def _absorb_feedback(self, server_id: int, message: Message) -> None:
+        feedback = message.fields.get("feedback")
+        if not feedback:
+            return
+        self.estimates.observe(
+            Feedback(
+                server_id=server_id,
+                queued_work=float(feedback.get("queued_work", 0.0)),
+                queue_length=int(feedback.get("queue_length", 0)),
+                rate_sample=float(feedback.get("rate_sample", 1.0)),
+                timestamp=time.monotonic(),
+            )
+        )
+
+    async def _call(self, server_id: int, message: Message) -> Message:
+        conn = self._connections.get(server_id)
+        if conn is None:
+            raise RuntimeError("client not connected")
+        fut = asyncio.get_running_loop().create_future()
+        conn.pending[message.id] = fut
+        async with conn.write_lock:
+            await write_message(conn.writer, message)
+        return await fut
+
+    # ------------------------------------------------------------------
+    # Tagging (the distributed half of DAS)
+    # ------------------------------------------------------------------
+    def _demand_guess(self, key: str) -> float:
+        size = self._size_cache.get(key, DEFAULT_SIZE_GUESS)
+        return self.per_op_overhead_hint + size / self.byte_rate_hint
+
+    def _tags_for(self, by_server: Dict[int, List[str]]) -> Dict[str, float]:
+        """Compute DAS/SBF/SJF tags for a request spanning ``by_server``."""
+        now = time.monotonic()
+        bottleneck = 0.0
+        rpt = 0.0
+        total = 0.0
+        for server_id, keys in by_server.items():
+            slice_demand = sum(self._demand_guess(k) for k in keys)
+            total += slice_demand
+            bottleneck = max(bottleneck, slice_demand)
+            rate = max(self.estimates.rate(server_id), 1e-9)
+            rpt = max(rpt, slice_demand / rate)
+        return {
+            "rpt": rpt,
+            "bottleneck": bottleneck,
+            "total_demand": total,
+            "deadline": now + 10.0 * total + 1e-3,
+        }
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> int:
+        return self.ring.owner(key)
+
+    async def put(self, key: str, value: bytes) -> None:
+        server_id = self.owner(key)
+        tags = self._tags_for({server_id: [key]})
+        reply = await self._call(
+            server_id,
+            Message(
+                type="put",
+                id=next(self._ids),
+                fields={"key": key, "value": encode_value(value), "tags": tags},
+            ),
+        )
+        if not reply.fields.get("ok"):
+            raise ProtocolError(f"put failed: {reply.fields.get('error')}")
+        self._size_cache[key] = len(value)
+
+    async def get(self, key: str) -> Optional[bytes]:
+        values = await self.multiget([key])
+        return values[key]
+
+    async def multiget(self, keys: Sequence[str]) -> Dict[str, Optional[bytes]]:
+        """Fetch many keys in parallel across their owner servers.
+
+        Returns a key -> value mapping with None for missing keys.  The
+        request's completion time is governed by its slowest sub-request —
+        the quantity DAS's tags are computed to minimize.
+        """
+        if not keys:
+            return {}
+        by_server: Dict[int, List[str]] = {}
+        for key in keys:
+            by_server.setdefault(self.owner(key), []).append(key)
+        tags = self._tags_for(by_server)
+
+        async def fetch(server_id: int, server_keys: List[str]) -> Dict[str, Optional[bytes]]:
+            reply = await self._call(
+                server_id,
+                Message(
+                    type="mget",
+                    id=next(self._ids),
+                    fields={"keys": server_keys, "tags": tags},
+                ),
+            )
+            if not reply.fields.get("ok"):
+                raise ProtocolError(f"mget failed: {reply.fields.get('error')}")
+            out: Dict[str, Optional[bytes]] = {}
+            for key, encoded in reply.fields.get("values", {}).items():
+                value = decode_value(encoded) if encoded is not None else None
+                out[key] = value
+                if value is not None:
+                    self._size_cache[key] = len(value)
+            return out
+
+        results = await asyncio.gather(
+            *(fetch(sid, ks) for sid, ks in by_server.items())
+        )
+        merged: Dict[str, Optional[bytes]] = {}
+        for chunk in results:
+            merged.update(chunk)
+        # Preserve the caller's key set even if a server omitted entries.
+        for key in keys:
+            merged.setdefault(key, None)
+        return merged

@@ -1,0 +1,72 @@
+"""In-process runtime cluster: N servers + a connected client.
+
+For demos and integration tests::
+
+    async with LocalCluster(n_servers=4, scheduler="das") as cluster:
+        await cluster.client.put("k", b"v")
+        values = await cluster.client.multiget(["k"])
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.runtime.client import RuntimeClient
+from repro.runtime.server import KVServer
+
+
+class LocalCluster:
+    """Spin up servers on loopback ports and a client wired to them."""
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        scheduler: str = "das",
+        scheduler_params: Optional[Dict[str, Any]] = None,
+        byte_rate: Optional[float] = 100e6,
+        per_op_overhead: float = 50e-6,
+    ):
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.servers = [
+            KVServer(
+                server_id=i,
+                scheduler=scheduler,
+                scheduler_params=scheduler_params,
+                byte_rate=byte_rate,
+                per_op_overhead=per_op_overhead,
+            )
+            for i in range(n_servers)
+        ]
+        self.client: Optional[RuntimeClient] = None
+
+    async def start(self) -> "LocalCluster":
+        await asyncio.gather(*(s.start() for s in self.servers))
+        self.client = RuntimeClient(
+            endpoints=[(s.host, s.port) for s in self.servers]
+        )
+        await self.client.connect()
+        return self
+
+    async def stop(self) -> None:
+        if self.client is not None:
+            await self.client.close()
+            self.client = None
+        await asyncio.gather(*(s.stop() for s in self.servers))
+
+    async def __aenter__(self) -> "LocalCluster":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    async def preload(self, items: Dict[str, bytes]) -> None:
+        """Write a batch of keys through the client."""
+        if self.client is None:
+            raise RuntimeError("cluster not started")
+        for key, value in items.items():
+            await self.client.put(key, value)
+
+    def total_ops_executed(self) -> int:
+        return sum(s.executor.ops_executed for s in self.servers)

@@ -1,0 +1,131 @@
+"""Open-loop load generation against the asyncio runtime.
+
+Drives a :class:`~repro.runtime.client.RuntimeClient` with the same
+workload specs the simulator uses (arrivals / fan-out / popularity over a
+preloaded keyspace) and measures wall-clock multiget completion times —
+the bridge for checking that simulator conclusions carry over to the real
+implementation.
+
+Open-loop means requests launch on the arrival process's schedule whether
+or not earlier ones finished (each multiget is an independent task), so
+the generator exerts real queueing pressure instead of self-throttling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.metrics.summary import SummaryStats, summarize
+from repro.runtime.client import RuntimeClient
+from repro.workload.arrivals import ArrivalSpec
+from repro.workload.fanout import FanoutSpec
+from repro.workload.popularity import PopularitySpec
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one load-generation run."""
+
+    latencies: List[float] = field(default_factory=list)
+    errors: int = 0
+    launched: int = 0
+    wall_seconds: float = 0.0
+
+    def summary(self) -> SummaryStats:
+        if not self.latencies:
+            raise ConfigError("no completed requests to summarize")
+        return summarize(self.latencies)
+
+    @property
+    def throughput(self) -> float:
+        """Completed multigets per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.latencies) / self.wall_seconds
+
+
+class LoadGenerator:
+    """Fires multigets at a connected client on an arrival schedule.
+
+    Parameters
+    ----------
+    client:
+        A connected :class:`RuntimeClient`.
+    keys:
+        The preloaded keyspace to draw from (index-addressed).
+    arrivals / fanout / popularity:
+        Workload specs, identical to the simulator's.
+    seed:
+        Seeds the three independent sampler streams.
+    """
+
+    def __init__(
+        self,
+        client: RuntimeClient,
+        keys: List[str],
+        arrivals: ArrivalSpec,
+        fanout: FanoutSpec,
+        popularity: PopularitySpec,
+        seed: int = 0,
+    ):
+        if not keys:
+            raise ConfigError("keyspace is empty")
+        if fanout.max_fanout() > len(keys):
+            raise ConfigError("max fanout exceeds keyspace size")
+        self.client = client
+        self.keys = list(keys)
+        self._arrivals = arrivals.build(np.random.default_rng(seed))
+        self._fanout = fanout.build(np.random.default_rng(seed + 1))
+        self._popularity = popularity.build(len(keys), np.random.default_rng(seed + 2))
+
+    async def run(
+        self,
+        n_requests: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> LoadgenResult:
+        """Generate load until ``n_requests`` launched or ``duration`` passed."""
+        if (n_requests is None) == (duration is None):
+            raise ConfigError("set exactly one of n_requests / duration")
+        result = LoadgenResult()
+        tasks: List[asyncio.Task] = []
+        t0 = time.monotonic()
+        virtual_now = 0.0
+
+        async def one(keys: List[str]) -> None:
+            start = time.monotonic()
+            try:
+                await self.client.multiget(keys)
+            except Exception:  # noqa: BLE001 - counted, not raised
+                result.errors += 1
+                return
+            result.latencies.append(time.monotonic() - start)
+
+        while True:
+            if n_requests is not None and result.launched >= n_requests:
+                break
+            gap = self._arrivals.next_interarrival(virtual_now)
+            if gap == float("inf"):
+                break
+            virtual_now += gap
+            if duration is not None and virtual_now > duration:
+                break
+            # Sleep until the scheduled launch instant (open loop).
+            delay = virtual_now - (time.monotonic() - t0)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            n = self._fanout.sample()
+            indices = self._popularity.sample_distinct(n)
+            keys = [self.keys[int(i)] for i in indices]
+            tasks.append(asyncio.create_task(one(keys)))
+            result.launched += 1
+
+        if tasks:
+            await asyncio.gather(*tasks)
+        result.wall_seconds = time.monotonic() - t0
+        return result

@@ -1,0 +1,113 @@
+"""Wire protocol for the asyncio runtime.
+
+Messages are UTF-8 JSON objects prefixed by a 4-byte big-endian length.
+Every message carries a ``type`` and an ``id`` (correlation id chosen by
+the sender); the remaining fields depend on the type:
+
+Request types (client -> server):
+
+* ``get``  — ``{"key": str, "tags": {...}}``
+* ``put``  — ``{"key": str, "value": str (base64), "tags": {...}}``
+* ``mget`` — ``{"keys": [str], "tags": {...}}``
+
+Response (server -> client):
+
+* ``reply`` — ``{"ok": bool, "values": {key: str|null}, "error": str|null,
+  "feedback": {"queued_work": float, "queue_length": int,
+  "rate_sample": float}}``
+
+``tags`` carries the scheduler priority payload (e.g. DAS's ``rpt``) —
+the protocol-level realization of "priorities travel with operations".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+#: Sanity bound so a corrupt length prefix cannot allocate gigabytes.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+VALID_TYPES = ("get", "put", "mget", "reply")
+
+
+@dataclass
+class Message:
+    """One protocol message (either direction)."""
+
+    type: str
+    id: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.type not in VALID_TYPES:
+            raise ProtocolError(f"invalid message type {self.type!r}")
+        if not isinstance(self.id, int) or self.id < 0:
+            raise ProtocolError(f"invalid message id {self.id!r}")
+
+    def encode(self) -> bytes:
+        payload = dict(self.fields)
+        payload["type"] = self.type
+        payload["id"] = self.id
+        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if len(raw) > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"message too large: {len(raw)} bytes")
+        return _LEN.pack(len(raw)) + raw
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Message":
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed message body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("message body must be a JSON object")
+        try:
+            mtype = payload.pop("type")
+            mid = payload.pop("id")
+        except KeyError as exc:
+            raise ProtocolError(f"message missing field: {exc}") from exc
+        return cls(type=mtype, id=mid, fields=payload)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: Message) -> None:
+    """Serialize and send one message."""
+    writer.write(message.encode())
+    await writer.drain()
+
+
+async def read_message(reader: asyncio.StreamReader) -> Optional[Message]:
+    """Read one message; returns None on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between messages
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"declared message length {length} exceeds limit")
+    try:
+        raw = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-message") from exc
+    return Message.decode(raw)
+
+
+def encode_value(value: bytes) -> str:
+    """Binary-safe value encoding for JSON transport."""
+    return base64.b64encode(value).decode("ascii")
+
+
+def decode_value(encoded: str) -> bytes:
+    try:
+        return base64.b64decode(encoded.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"invalid value encoding: {exc}") from exc

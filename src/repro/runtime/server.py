@@ -1,0 +1,191 @@
+"""The asyncio TCP key-value server.
+
+Each server owns a :class:`~repro.kvstore.storage.StorageEngine` and a
+:class:`~repro.runtime.scheduling.ScheduledExecutor`; connections submit
+operations into the executor and the response carries the executor's
+feedback snapshot — the runtime realization of piggybacked feedback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import KeyNotFoundError, ProtocolError
+from repro.kvstore.storage import StorageEngine
+from repro.runtime.protocol import (
+    Message,
+    decode_value,
+    encode_value,
+    read_message,
+    write_message,
+)
+from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
+
+logger = logging.getLogger(__name__)
+
+
+class KVServer:
+    """One key-value server listening on a TCP port.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    scheduler / scheduler_params:
+        Scheduling policy for the executor.
+    byte_rate:
+        Emulated backend throughput (bytes/s); None disables throttling.
+    per_op_overhead:
+        Emulated fixed per-operation cost in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        server_id: int = 0,
+        scheduler: str = "das",
+        scheduler_params: Optional[Dict[str, Any]] = None,
+        byte_rate: Optional[float] = 100e6,
+        per_op_overhead: float = 50e-6,
+    ):
+        self.host = host
+        self._requested_port = port
+        self.server_id = server_id
+        self.storage = StorageEngine(server_id=server_id, track_payloads=True)
+        self.executor = ScheduledExecutor(
+            policy_name=scheduler,
+            policy_params=scheduler_params,
+            byte_rate=byte_rate,
+            server_id=server_id,
+        )
+        self.byte_rate = byte_rate
+        self.per_op_overhead = per_op_overhead
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.executor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.executor.stop()
+
+    # ------------------------------------------------------------------
+    def _demand(self, value_size: int) -> float:
+        if self.byte_rate is None:
+            return 0.0
+        return self.per_op_overhead + value_size / self.byte_rate
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    logger.warning("protocol error from peer: %s", exc)
+                    break
+                if message is None:
+                    break
+                reply = await self._serve(message)
+                await write_message(writer, reply)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _serve(self, message: Message) -> Message:
+        try:
+            if message.type == "get":
+                values = await self._do_gets([message.fields["key"]], message.fields)
+            elif message.type == "mget":
+                values = await self._do_gets(
+                    list(message.fields["keys"]), message.fields
+                )
+            elif message.type == "put":
+                values = await self._do_put(message.fields)
+            else:
+                raise ProtocolError(f"unexpected message type {message.type!r}")
+            ok, error = True, None
+        except KeyError as exc:
+            values, ok, error = {}, False, f"missing field {exc}"
+        except ProtocolError as exc:
+            values, ok, error = {}, False, str(exc)
+        return Message(
+            type="reply",
+            id=message.id,
+            fields={
+                "ok": ok,
+                "values": values,
+                "error": error,
+                "feedback": self.executor.feedback(),
+            },
+        )
+
+    async def _do_gets(self, keys: list, fields: Dict[str, Any]) -> Dict[str, Any]:
+        tags = dict(fields.get("tags", {}))
+        futures = []
+        for key in keys:
+            size = self._stored_size(key)
+            op = QueuedOp(key=key, demand=self._demand(size), tag=dict(tags))
+            op.work = self._make_get_work(key)
+            futures.append(self.executor.submit(op))
+        results = await asyncio.gather(*futures)
+        return dict(zip(keys, results))
+
+    def _stored_size(self, key: str) -> int:
+        """Size lookup for demand estimation (0 when the key is absent)."""
+        try:
+            return self.storage.get(key, now=time.monotonic()).size
+        except KeyNotFoundError:
+            return 0
+
+    def _make_get_work(self, key: str):
+        def work():
+            try:
+                record = self.storage.get(key, now=time.monotonic())
+            except KeyNotFoundError:
+                return None
+            if record.payload is None:
+                return encode_value(b"\x00" * record.size)
+            return encode_value(record.payload)
+
+        return work
+
+    async def _do_put(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        key = fields["key"]
+        payload = decode_value(fields["value"])
+        tags = dict(fields.get("tags", {}))
+        op = QueuedOp(key=key, demand=self._demand(len(payload)), tag=tags)
+
+        def work():
+            self.storage.put(
+                key, len(payload), now=time.monotonic(), payload=payload
+            )
+            return True
+
+        op.work = work
+        await self.executor.submit(op)
+        return {key: True}

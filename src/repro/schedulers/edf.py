@@ -1,0 +1,86 @@
+"""Earliest-deadline-first baseline.
+
+Each request gets a synthetic deadline ``arrival + slack_factor × total
+demand`` at dispatch; servers serve the earliest deadline first.  EDF is
+the classic real-time baseline: good when deadlines encode size (small
+requests get near deadlines), but non-adaptive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.kvstore.items import Operation, Request
+from repro.schedulers.base import (
+    ClientTagger,
+    QueueContext,
+    SchedulingPolicy,
+    ServerQueue,
+)
+from repro.schedulers.registry import register_policy
+
+TAG_DEADLINE = "deadline"
+
+
+class DeadlineTagger(ClientTagger):
+    """Stamps ``deadline = arrival + base_slack + slack_factor * demand``."""
+
+    def __init__(self, slack_factor: float, base_slack: float):
+        self._slack_factor = slack_factor
+        self._base_slack = base_slack
+
+    def tag_request(self, request: Request, now: float, estimates: Optional[object]) -> None:
+        deadline = (
+            request.arrival_time
+            + self._base_slack
+            + self._slack_factor * request.total_demand
+        )
+        for op in request.operations:
+            op.tag[TAG_DEADLINE] = deadline
+
+
+class EdfQueue(ServerQueue):
+    """Earliest tagged deadline first; FIFO among equals."""
+
+    def __init__(self, context: QueueContext):
+        super().__init__(context)
+        self._heap: list[tuple[float, int, Operation]] = []
+        self._seq = count()
+
+    def _push(self, op: Operation, now: float) -> None:
+        deadline = op.tag.get(TAG_DEADLINE, op.enqueue_time)
+        heapq.heappush(self._heap, (deadline, next(self._seq), op))
+
+    def _pop(self, now: float) -> Operation:
+        return heapq.heappop(self._heap)[2]
+
+
+@register_policy
+class EdfPolicy(SchedulingPolicy):
+    """Earliest-deadline-first with size-proportional synthetic deadlines.
+
+    Parameters
+    ----------
+    slack_factor:
+        Deadline slack per unit of request demand (default 10.0).
+    base_slack:
+        Constant slack added to every deadline in seconds (default 1 ms).
+    """
+
+    name = "edf"
+
+    def __init__(self, slack_factor: float = 10.0, base_slack: float = 1e-3):
+        if slack_factor < 0 or base_slack < 0:
+            raise ConfigError("slack parameters must be >= 0")
+        super().__init__(slack_factor=slack_factor, base_slack=base_slack)
+        self.slack_factor = slack_factor
+        self.base_slack = base_slack
+
+    def make_queue(self, context: QueueContext) -> ServerQueue:
+        return EdfQueue(context)
+
+    def make_tagger(self) -> ClientTagger:
+        return DeadlineTagger(self.slack_factor, self.base_slack)

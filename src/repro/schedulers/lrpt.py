@@ -1,0 +1,99 @@
+"""Pure LRPT-last: demote the largest requests to a background band.
+
+Requests whose total demand exceeds a (static) multiple of the running
+mean are served only when no other work is queued.  This is the second
+half of DAS in isolation — it helps the small-request majority but has no
+ordering inside the front band and no adaptation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.kvstore.items import Operation, Request
+from repro.schedulers.base import (
+    ClientTagger,
+    QueueContext,
+    SchedulingPolicy,
+    ServerQueue,
+)
+from repro.schedulers.registry import register_policy
+from repro.schedulers.sjf import TAG_TOTAL_DEMAND, TotalDemandTagger
+
+
+class LrptLastQueue(ServerQueue):
+    """FIFO front band + FIFO "last" band for oversized requests.
+
+    An operation goes to the last band when its request's total demand
+    exceeds ``threshold_k`` times the running mean of tagged demands seen
+    by this queue.  The mean uses an EWMA so the threshold follows the
+    workload's demand scale without being adaptive to *load* (that is
+    DAS's job).
+    """
+
+    def __init__(self, context: QueueContext, threshold_k: float, ewma_alpha: float):
+        super().__init__(context)
+        if threshold_k <= 0:
+            raise ConfigError("threshold_k must be positive")
+        if not 0 < ewma_alpha <= 1:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        self._front: deque[Operation] = deque()
+        self._last: deque[Operation] = deque()
+        self._threshold_k = threshold_k
+        self._alpha = ewma_alpha
+        self._mean_demand: Optional[float] = None
+
+    @property
+    def demand_scale(self) -> Optional[float]:
+        return self._mean_demand
+
+    def _push(self, op: Operation, now: float) -> None:
+        total = op.tag.get(TAG_TOTAL_DEMAND, op.demand)
+        # Classify against the mean *before* folding this item in, so an
+        # outlier cannot raise the threshold past itself.
+        demote = (
+            self._mean_demand is not None
+            and total > self._threshold_k * self._mean_demand
+        )
+        if self._mean_demand is None:
+            self._mean_demand = total
+        else:
+            self._mean_demand += self._alpha * (total - self._mean_demand)
+        if demote:
+            self._last.append(op)
+        else:
+            self._front.append(op)
+
+    def _pop(self, now: float) -> Operation:
+        if self._front:
+            return self._front.popleft()
+        return self._last.popleft()
+
+
+@register_policy
+class LrptLastPolicy(SchedulingPolicy):
+    """Largest-remaining-processing-time-last with a static threshold.
+
+    Parameters
+    ----------
+    threshold_k:
+        Requests with total demand above ``threshold_k × running mean``
+        are demoted (default 4.0).
+    ewma_alpha:
+        Smoothing of the running mean demand (default 0.05).
+    """
+
+    name = "lrpt-last"
+
+    def __init__(self, threshold_k: float = 4.0, ewma_alpha: float = 0.05):
+        super().__init__(threshold_k=threshold_k, ewma_alpha=ewma_alpha)
+        self.threshold_k = threshold_k
+        self.ewma_alpha = ewma_alpha
+
+    def make_queue(self, context: QueueContext) -> ServerQueue:
+        return LrptLastQueue(context, self.threshold_k, self.ewma_alpha)
+
+    def make_tagger(self) -> ClientTagger:
+        return TotalDemandTagger()

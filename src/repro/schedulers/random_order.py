@@ -1,0 +1,39 @@
+"""Random-order service — a sanity baseline.
+
+Random order has the same mean queue as FCFS under Poisson arrivals but a
+worse tail; it mainly serves as a control that the harness measures what
+it should.
+"""
+
+from __future__ import annotations
+
+from repro.kvstore.items import Operation
+from repro.schedulers.base import QueueContext, SchedulingPolicy, ServerQueue
+from repro.schedulers.registry import register_policy
+
+
+class RandomQueue(ServerQueue):
+    """Pop a uniformly random queued operation."""
+
+    def __init__(self, context: QueueContext):
+        super().__init__(context)
+        self._ops: list[Operation] = []
+
+    def _push(self, op: Operation, now: float) -> None:
+        self._ops.append(op)
+
+    def _pop(self, now: float) -> Operation:
+        idx = int(self.context.rng.integers(0, len(self._ops)))
+        # Swap-remove keeps pop O(1).
+        self._ops[idx], self._ops[-1] = self._ops[-1], self._ops[idx]
+        return self._ops.pop()
+
+
+@register_policy
+class RandomPolicy(SchedulingPolicy):
+    """Serve queued operations in uniformly random order."""
+
+    name = "random"
+
+    def make_queue(self, context: QueueContext) -> ServerQueue:
+        return RandomQueue(context)

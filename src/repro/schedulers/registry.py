@@ -1,0 +1,35 @@
+"""Registry mapping scheduler names to policy classes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from repro.errors import SchedulerError, UnknownSchedulerError
+from repro.schedulers.base import SchedulingPolicy
+
+_REGISTRY: Dict[str, Type[SchedulingPolicy]] = {}
+
+
+def register_policy(cls: Type[SchedulingPolicy]) -> Type[SchedulingPolicy]:
+    """Class decorator adding a policy to the registry under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise SchedulerError(f"policy class {cls.__name__} must define a name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise SchedulerError(f"scheduler name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def create_policy(name: str, **params: Any) -> SchedulingPolicy:
+    """Instantiate a registered policy by name with keyword parameters."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchedulerError(name, sorted(_REGISTRY)) from None
+    return cls(**params)
+
+
+def available_schedulers() -> list[str]:
+    """Sorted names of all registered policies."""
+    return sorted(_REGISTRY)

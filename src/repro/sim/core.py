@@ -1,0 +1,171 @@
+"""The simulation environment: virtual clock plus event loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    StopSimulation,
+    Timeout,
+)
+
+#: Scheduling priorities.  URGENT is used for already-triggered events
+#: (succeed/fail/interrupt) so they run before timeouts scheduled for the
+#: same instant; NORMAL is used for timeouts.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float starting at ``initial_time`` and only moves forward.
+    Events scheduled for the same instant run in FIFO order within the same
+    priority class, which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    @property
+    def active_process_generator(self):
+        proc = self._active_process
+        return proc._generator if proc is not None else None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires once all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires once any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and stepping
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = URGENT) -> None:
+        """Put a triggered event on the queue ``delay`` from now."""
+        if isinstance(event, Timeout):
+            priority = NORMAL
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event; advance the clock to it."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody consumed the failure: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event triggers, returning its
+            value (or raising its failure).
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed: nothing to run.
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event.defused = True
+                raise stop_event._value
+            stop_event.callbacks.append(_stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} is in the past (now={self._now})")
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(_stop_callback)
+            heapq.heappush(self._queue, (at, URGENT, -1, stop_event))
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                if isinstance(until, Event):
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        f"event {until!r} triggered"
+                    ) from None
+            return None
+
+    def run_until_idle(self) -> None:
+        """Drain every remaining event (alias of ``run()`` with no bound)."""
+        self.run(until=None)
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event.defused = True
+    raise event._value

@@ -1,0 +1,214 @@
+"""Waitable containers for the simulation kernel.
+
+:class:`Store` is an asynchronous FIFO queue: ``put`` and ``get`` both
+return events, so processes block when the store is full or empty.
+:class:`PriorityStore` hands out the smallest item first.  :class:`Resource`
+models a server with fixed capacity (e.g. a CPU with ``capacity`` cores).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds once the item is in."""
+
+    def __init__(self, env: "Environment", item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the item."""
+
+
+class Store:
+    """FIFO queue with blocking ``put``/``get`` semantics.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items; ``inf`` for unbounded (default).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._put_waiters: list[StorePut] = []
+        self._get_waiters: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of currently stored items (FIFO order)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires when there is room."""
+        event = StorePut(self.env, item)
+        self._put_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item via the returned event."""
+        event = StoreGet(self.env)
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    # -- internals ------------------------------------------------------
+    def _store_item(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _take_item(self) -> Any:
+        return self._items.pop(0)
+
+    def _dispatch(self) -> None:
+        """Match queued puts with free slots, then gets with items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and len(self._items) < self.capacity:
+                put = self._put_waiters.pop(0)
+                self._store_item(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_waiters and self._items:
+                get = self._get_waiters.pop(0)
+                get.succeed(self._take_item())
+                progressed = True
+
+
+class PriorityStore(Store):
+    """A store that yields the smallest item first.
+
+    Items must be mutually comparable; wrap payloads in ``(priority, seq,
+    payload)`` tuples or use :class:`PriorityItem`.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> list[Any]:
+        return sorted(self._heap)
+
+    def _store_item(self, item: Any) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _take_item(self) -> Any:
+        return heapq.heappop(self._heap)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters and len(self._heap) < self.capacity:
+                put = self._put_waiters.pop(0)
+                self._store_item(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_waiters and self._heap:
+                get = self._get_waiters.pop(0)
+                get.succeed(self._take_item())
+                progressed = True
+
+
+class PriorityItem:
+    """Orderable wrapper pairing a sortable key with an arbitrary payload."""
+
+    __slots__ = ("key", "payload")
+
+    def __init__(self, key: Any, payload: Any):
+        self.key = key
+        self.payload = payload
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PriorityItem) and self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"PriorityItem(key={self.key!r}, payload={self.payload!r})"
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`; fires once granted."""
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+    def release(self) -> None:
+        """Give the slot back (convenience alias)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots granted in FIFO order."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[ResourceRequest] = []
+        self._waiters: list[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> ResourceRequest:
+        """Ask for a slot; the returned event fires when granted."""
+        req = ResourceRequest(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a previously granted slot, waking the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Request was still waiting: cancel it instead.
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                raise RuntimeError("release() of a request not held or queued") from None
+            return
+        if self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.pop(0)
+            self._users.append(nxt)
+            nxt.succeed()
+
+

@@ -1,0 +1,74 @@
+"""Workload generation: arrivals, key popularity, fan-out, value sizes.
+
+Every generator is described by a declarative *spec* (a small frozen
+dataclass exposing ``build(rng)`` and analytic moments like ``mean()``)
+so experiment configurations are self-describing, serializable, and the
+offered load can be computed in closed form for calibration.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalSpec,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    SinusoidalArrivals,
+    TraceArrivals,
+)
+from repro.workload.fanout import (
+    BimodalFanout,
+    FanoutSpec,
+    FixedFanout,
+    GeometricFanout,
+    UniformFanout,
+)
+from repro.workload.popularity import (
+    HotspotPopularity,
+    PopularitySpec,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from repro.workload.requests import Keyspace, RequestFactory, RequestSpec
+from repro.workload.sizes import (
+    BimodalSize,
+    ExponentialSize,
+    FixedSize,
+    LognormalSize,
+    ParetoSize,
+    SizeSpec,
+    UniformSize,
+)
+from repro.workload.traces import TraceRecord, read_trace, write_trace
+from repro.workload.patterns import TRAFFIC_PATTERNS, traffic_pattern
+
+__all__ = [
+    "ArrivalSpec",
+    "BimodalFanout",
+    "BimodalSize",
+    "DeterministicArrivals",
+    "ExponentialSize",
+    "FanoutSpec",
+    "FixedFanout",
+    "FixedSize",
+    "GeometricFanout",
+    "HotspotPopularity",
+    "Keyspace",
+    "LognormalSize",
+    "MMPPArrivals",
+    "ParetoSize",
+    "PoissonArrivals",
+    "PopularitySpec",
+    "SinusoidalArrivals",
+    "RequestFactory",
+    "RequestSpec",
+    "SizeSpec",
+    "TRAFFIC_PATTERNS",
+    "TraceArrivals",
+    "TraceRecord",
+    "UniformFanout",
+    "UniformPopularity",
+    "UniformSize",
+    "ZipfPopularity",
+    "read_trace",
+    "traffic_pattern",
+    "write_trace",
+]

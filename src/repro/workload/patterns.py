@@ -1,0 +1,121 @@
+"""Named traffic patterns used by the evaluation (experiment E6).
+
+Each pattern bundles a fan-out spec, a value-size spec, and a popularity
+spec.  The arrival process is supplied separately because the experiment
+harness calibrates its rate to a target load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workload.fanout import (
+    BimodalFanout,
+    FanoutSpec,
+    FixedFanout,
+    GeometricFanout,
+    UniformFanout,
+)
+from repro.workload.popularity import (
+    HotspotPopularity,
+    PopularitySpec,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from repro.workload.sizes import (
+    BimodalSize,
+    FixedSize,
+    LognormalSize,
+    ParetoSize,
+    SizeSpec,
+)
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """A named (fanout, size, popularity) bundle."""
+
+    name: str
+    description: str
+    fanout: FanoutSpec
+    sizes: SizeSpec
+    popularity: PopularitySpec
+
+
+TRAFFIC_PATTERNS = {
+    "baseline": TrafficPattern(
+        name="baseline",
+        description=(
+            "The default evaluation workload: geometric fan-out (mean 5), "
+            "lognormal value sizes, Zipf(0.99) key popularity — the "
+            "standard memcached-style mix."
+        ),
+        fanout=GeometricFanout(mean_target=5.0, cap=64),
+        sizes=LognormalSize(median=1024.0, sigma=1.0, cap=1 << 18),
+        popularity=ZipfPopularity(s=0.99),
+    ),
+    "uniform": TrafficPattern(
+        name="uniform",
+        description="Uniform everything: no skew in keys, sizes, or fan-out.",
+        fanout=UniformFanout(lo=1, hi=9),
+        sizes=FixedSize(size=1024),
+        popularity=UniformPopularity(),
+    ),
+    "bimodal": TrafficPattern(
+        name="bimodal",
+        description=(
+            "Mostly-small multigets with an occasional very large one — "
+            "maximizes head-of-line blocking of small requests."
+        ),
+        fanout=BimodalFanout(small=2, large=32, p_large=0.1),
+        sizes=FixedSize(size=1024),
+        popularity=ZipfPopularity(s=0.99),
+    ),
+    "heavytail": TrafficPattern(
+        name="heavytail",
+        description=(
+            "Pareto value sizes (alpha=1.5): heavy-tailed service demands; "
+            "a few huge values dominate server time."
+        ),
+        fanout=GeometricFanout(mean_target=5.0, cap=64),
+        sizes=ParetoSize(lo=256.0, alpha=1.5, cap=1 << 20),
+        popularity=ZipfPopularity(s=0.99),
+    ),
+    "hotspot": TrafficPattern(
+        name="hotspot",
+        description=(
+            "10% of keys receive 90% of accesses; a hotspotted key range "
+            "concentrates load on few servers."
+        ),
+        fanout=GeometricFanout(mean_target=5.0, cap=64),
+        sizes=LognormalSize(median=1024.0, sigma=1.0, cap=1 << 18),
+        popularity=HotspotPopularity(hot_fraction=0.1, hot_probability=0.9),
+    ),
+    "large-values": TrafficPattern(
+        name="large-values",
+        description="Bimodal sizes: 5% of keys hold 256 KiB blobs.",
+        fanout=GeometricFanout(mean_target=5.0, cap=64),
+        sizes=BimodalSize(small=512, large=262144, p_large=0.05),
+        popularity=ZipfPopularity(s=0.99),
+    ),
+    "single-get": TrafficPattern(
+        name="single-get",
+        description=(
+            "Fan-out 1: degenerates to independent M/G/1 queues; all "
+            "multiget-aware schedulers should collapse toward SRPT/FCFS."
+        ),
+        fanout=FixedFanout(k=1),
+        sizes=LognormalSize(median=1024.0, sigma=1.0, cap=1 << 18),
+        popularity=ZipfPopularity(s=0.99),
+    ),
+}
+
+
+def traffic_pattern(name: str) -> TrafficPattern:
+    """Look up a named pattern; raises with the known names on miss."""
+    try:
+        return TRAFFIC_PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(TRAFFIC_PATTERNS))
+        raise WorkloadError(f"unknown traffic pattern {name!r}; known: {known}") from None

@@ -1,0 +1,174 @@
+"""Key popularity distributions.
+
+A popularity spec builds a sampler that draws *distinct* key indices in
+``[0, keyspace_size)`` for a multiget.  Zipf is the workhorse (the standard
+model for KV-store key skew); hotspot models a small set of very hot keys
+over a uniform base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class PopularitySampler:
+    """Draws distinct key indices for a request."""
+
+    def __init__(self, keyspace_size: int, rng: np.random.Generator):
+        if keyspace_size < 1:
+            raise WorkloadError("keyspace_size must be >= 1")
+        self.keyspace_size = keyspace_size
+        self._rng = rng
+
+    def sample_one(self) -> int:
+        raise NotImplementedError
+
+    def sample_distinct(self, n: int) -> np.ndarray:
+        """Draw ``n`` distinct indices (rejection over the marginal law)."""
+        if n > self.keyspace_size:
+            raise WorkloadError(
+                f"cannot draw {n} distinct keys from a keyspace of "
+                f"{self.keyspace_size}"
+            )
+        chosen: list[int] = []
+        seen: set[int] = set()
+        # Rejection sampling; with realistic skew and fanout << keyspace the
+        # expected number of redraws is tiny.
+        guard = 0
+        limit = 1000 * n + 1000
+        while len(chosen) < n:
+            idx = self.sample_one()
+            if idx not in seen:
+                seen.add(idx)
+                chosen.append(idx)
+            guard += 1
+            if guard > limit:
+                # Extremely skewed distribution: fill the remainder from
+                # the least-popular tail deterministically rather than loop.
+                for idx in range(self.keyspace_size):
+                    if idx not in seen:
+                        seen.add(idx)
+                        chosen.append(idx)
+                        if len(chosen) == n:
+                            break
+                break
+        return np.asarray(chosen, dtype=np.int64)
+
+
+class PopularitySpec:
+    """Base class for popularity specs."""
+
+    def build(self, keyspace_size: int, rng: np.random.Generator) -> PopularitySampler:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformPopularity(PopularitySpec):
+    """Every key equally likely."""
+
+    def build(self, keyspace_size: int, rng: np.random.Generator) -> PopularitySampler:
+        return _UniformSampler(keyspace_size, rng)
+
+
+class _UniformSampler(PopularitySampler):
+    def sample_one(self) -> int:
+        return int(self._rng.integers(0, self.keyspace_size))
+
+    def sample_distinct(self, n: int) -> np.ndarray:
+        if n > self.keyspace_size:
+            raise WorkloadError(
+                f"cannot draw {n} distinct keys from a keyspace of "
+                f"{self.keyspace_size}"
+            )
+        return self._rng.choice(self.keyspace_size, size=n, replace=False)
+
+
+@dataclass(frozen=True)
+class ZipfPopularity(PopularitySpec):
+    """Zipfian popularity: P(key rank i) proportional to 1/i^s.
+
+    ``s = 0.99`` is the YCSB default and the skew most KV-store papers use.
+    Key ranks are shuffled onto key indices so popular keys spread across
+    the ring instead of clustering.
+    """
+
+    s: float = 0.99
+    shuffle: bool = True
+
+    def __post_init__(self):
+        if self.s < 0:
+            raise WorkloadError(f"zipf exponent must be >= 0, got {self.s}")
+
+    def build(self, keyspace_size: int, rng: np.random.Generator) -> PopularitySampler:
+        return _ZipfSampler(keyspace_size, rng, self.s, self.shuffle)
+
+
+class _ZipfSampler(PopularitySampler):
+    def __init__(
+        self, keyspace_size: int, rng: np.random.Generator, s: float, shuffle: bool
+    ):
+        super().__init__(keyspace_size, rng)
+        ranks = np.arange(1, keyspace_size + 1, dtype=np.float64)
+        weights = ranks ** (-s)
+        self._cum = np.cumsum(weights / weights.sum())
+        self._cum[-1] = 1.0  # guard against floating-point shortfall
+        if shuffle:
+            self._perm = rng.permutation(keyspace_size)
+        else:
+            self._perm = np.arange(keyspace_size)
+
+    def sample_one(self) -> int:
+        u = self._rng.random()
+        rank = int(np.searchsorted(self._cum, u, side="left"))
+        return int(self._perm[min(rank, self.keyspace_size - 1)])
+
+
+@dataclass(frozen=True)
+class HotspotPopularity(PopularitySpec):
+    """A ``hot_fraction`` of keys receives ``hot_probability`` of accesses.
+
+    The classic YCSB "hotspot" distribution: uniform within each of the hot
+    and cold regions.
+    """
+
+    hot_fraction: float = 0.1
+    hot_probability: float = 0.9
+
+    def __post_init__(self):
+        if not 0 < self.hot_fraction < 1:
+            raise WorkloadError("hot_fraction must be in (0, 1)")
+        if not 0 < self.hot_probability < 1:
+            raise WorkloadError("hot_probability must be in (0, 1)")
+
+    def build(self, keyspace_size: int, rng: np.random.Generator) -> PopularitySampler:
+        return _HotspotSampler(
+            keyspace_size, rng, self.hot_fraction, self.hot_probability
+        )
+
+
+class _HotspotSampler(PopularitySampler):
+    def __init__(
+        self,
+        keyspace_size: int,
+        rng: np.random.Generator,
+        hot_fraction: float,
+        hot_probability: float,
+    ):
+        super().__init__(keyspace_size, rng)
+        self._hot_count = max(1, int(round(keyspace_size * hot_fraction)))
+        if self._hot_count >= keyspace_size:
+            raise WorkloadError("hot region covers the whole keyspace")
+        self._hot_probability = hot_probability
+        # Spread the hot region across key indices.
+        self._perm = rng.permutation(keyspace_size)
+
+    def sample_one(self) -> int:
+        if self._rng.random() < self._hot_probability:
+            raw = int(self._rng.integers(0, self._hot_count))
+        else:
+            raw = int(self._rng.integers(self._hot_count, self.keyspace_size))
+        return int(self._perm[raw])

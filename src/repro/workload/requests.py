@@ -1,0 +1,227 @@
+"""Request factory: combines arrivals, fan-out, popularity, and sizes.
+
+The :class:`Keyspace` fixes key names and their value sizes once per
+experiment (sizes are a property of the *data*, not of each access), and
+the :class:`RequestFactory` draws multiget descriptors from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import ArrivalSpec
+from repro.workload.fanout import FanoutSpec
+from repro.workload.popularity import PopularitySpec
+from repro.workload.sizes import SizeSpec
+
+
+class Keyspace:
+    """The fixed population of keys and their value sizes.
+
+    Parameters
+    ----------
+    size:
+        Number of keys.
+    size_spec:
+        Distribution the per-key value sizes are drawn from (once).
+    rng:
+        Generator used for the one-time size draw.
+    prefix:
+        Key-name prefix; keys are ``f"{prefix}{index:010d}"``.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        size_spec: SizeSpec,
+        rng: np.random.Generator,
+        prefix: str = "key:",
+    ):
+        if size < 1:
+            raise WorkloadError("keyspace size must be >= 1")
+        self.size = size
+        self.prefix = prefix
+        sampler = size_spec.build(rng)
+        self.value_sizes = np.asarray(
+            [sampler.sample() for _ in range(size)], dtype=np.int64
+        )
+
+    def key_name(self, index: int) -> str:
+        if not 0 <= index < self.size:
+            raise WorkloadError(f"key index {index} out of range [0, {self.size})")
+        return f"{self.prefix}{index:010d}"
+
+    def value_size(self, index: int) -> int:
+        return int(self.value_sizes[index])
+
+    def mean_value_size(self) -> float:
+        """Empirical mean of the materialized sizes (what load actually sees)."""
+        return float(self.value_sizes.mean())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Keyspace(size={self.size}, mean_value={self.mean_value_size():.1f}B)"
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """Declarative description of a request stream."""
+
+    arrivals: ArrivalSpec
+    fanout: FanoutSpec
+    popularity: PopularitySpec
+    put_fraction: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.put_fraction <= 1.0:
+            raise WorkloadError("put_fraction must be in [0, 1]")
+
+
+@dataclass
+class RequestDescriptor:
+    """One generated multiget: which keys, their sizes, and op kinds."""
+
+    key_indices: np.ndarray
+    keys: List[str]
+    sizes: List[int]
+    is_put: List[bool] = field(default_factory=list)
+
+
+class RequestFactory:
+    """Stateful generator of request descriptors for one client.
+
+    Each factory owns independent sub-streams for arrivals, fan-out, key
+    choice, and the GET/PUT coin so components never perturb each other.
+    """
+
+    def __init__(
+        self,
+        spec: RequestSpec,
+        keyspace: Keyspace,
+        rng_arrivals: np.random.Generator,
+        rng_fanout: np.random.Generator,
+        rng_keys: np.random.Generator,
+        rng_kind: Optional[np.random.Generator] = None,
+    ):
+        if spec.fanout.max_fanout() > keyspace.size:
+            raise WorkloadError(
+                f"max fanout {spec.fanout.max_fanout()} exceeds keyspace "
+                f"size {keyspace.size}"
+            )
+        if spec.put_fraction > 0 and rng_kind is None:
+            raise WorkloadError("put_fraction > 0 requires rng_kind")
+        self.spec = spec
+        self.keyspace = keyspace
+        self._arrivals = spec.arrivals.build(rng_arrivals)
+        self._fanout = spec.fanout.build(rng_fanout)
+        self._popularity = spec.popularity.build(keyspace.size, rng_keys)
+        self._rng_kind = rng_kind
+        self.generated = 0
+
+    def next_interarrival(self, now: float) -> float:
+        """Gap until this client's next request."""
+        return self._arrivals.next_interarrival(now)
+
+    def make_request(self) -> RequestDescriptor:
+        """Draw one multiget descriptor."""
+        n = self._fanout.sample()
+        indices = self._popularity.sample_distinct(n)
+        keys = [self.keyspace.key_name(int(i)) for i in indices]
+        sizes = [self.keyspace.value_size(int(i)) for i in indices]
+        if self.spec.put_fraction > 0:
+            is_put = [
+                bool(self._rng_kind.random() < self.spec.put_fraction)
+                for _ in range(n)
+            ]
+        else:
+            is_put = [False] * n
+        self.generated += 1
+        return RequestDescriptor(
+            key_indices=indices, keys=keys, sizes=sizes, is_put=is_put
+        )
+
+    def mean_ops_per_request(self) -> float:
+        return self.spec.fanout.mean()
+
+
+def offered_load(
+    spec: RequestSpec,
+    keyspace_mean_size: float,
+    n_servers: int,
+    per_op_overhead: float,
+    byte_rate: float,
+    mean_speed: float = 1.0,
+) -> float:
+    """Long-run offered load (utilization) of a request stream.
+
+    ``rho = rate * mean_fanout * mean_demand / (n_servers * mean_speed)``.
+    """
+    mean_demand = per_op_overhead + keyspace_mean_size / byte_rate
+    rate = spec.arrivals.mean_rate()
+    return rate * spec.fanout.mean() * mean_demand / (n_servers * mean_speed)
+
+
+def arrival_rate_for_load(
+    target_load: float,
+    fanout_mean: float,
+    mean_demand: float,
+    n_servers: int,
+    mean_speed: float = 1.0,
+) -> float:
+    """Total arrival rate (requests/s) achieving ``target_load`` utilization."""
+    if not 0 < target_load:
+        raise WorkloadError("target_load must be positive")
+    if mean_demand <= 0 or fanout_mean <= 0:
+        raise WorkloadError("mean demand and fanout must be positive")
+    return target_load * n_servers * mean_speed / (fanout_mean * mean_demand)
+
+
+class TraceReplayFactory:
+    """Drop-in replacement for :class:`RequestFactory` that replays a trace.
+
+    Replays every ``stride``-th record starting at ``start`` (so N clients
+    can partition one trace without coordination).  Interarrivals derive
+    from the absolute record times; after the last record the factory
+    reports an infinite gap, ending generation.
+    """
+
+    def __init__(self, records, start: int = 0, stride: int = 1):
+        if stride < 1:
+            raise WorkloadError("stride must be >= 1")
+        if start < 0 or start >= stride:
+            raise WorkloadError("need 0 <= start < stride")
+        self._records = list(records)[start::stride]
+        self._idx = 0
+        self.generated = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def next_interarrival(self, now: float) -> float:
+        if self._idx >= len(self._records):
+            return float("inf")
+        return max(0.0, self._records[self._idx].t - now)
+
+    def make_request(self) -> RequestDescriptor:
+        if self._idx >= len(self._records):
+            raise WorkloadError("trace exhausted")
+        record = self._records[self._idx]
+        self._idx += 1
+        self.generated += 1
+        return RequestDescriptor(
+            key_indices=np.asarray([], dtype=np.int64),
+            keys=list(record.keys),
+            sizes=list(record.sizes),
+            is_put=list(record.is_put),
+        )
+
+    def mean_ops_per_request(self) -> float:
+        if not self._records:
+            return 0.0
+        return sum(len(r.keys) for r in self._records) / len(self._records)

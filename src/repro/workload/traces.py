@@ -1,0 +1,110 @@
+"""Trace recording and replay (JSON Lines).
+
+A trace is a sequence of request records — arrival time, keys, sizes, op
+kinds — that can be written during one run and replayed exactly in
+another (e.g. to compare schedulers on the *identical* arrival sequence,
+eliminating workload variance from A/B comparisons).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import TraceFormatError
+
+_REQUIRED_FIELDS = ("t", "keys", "sizes")
+
+
+@dataclass
+class TraceRecord:
+    """One request in a trace."""
+
+    t: float
+    keys: List[str]
+    sizes: List[int]
+    is_put: List[bool] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.t < 0:
+            raise TraceFormatError(f"negative arrival time {self.t}")
+        if len(self.keys) != len(self.sizes):
+            raise TraceFormatError(
+                f"keys/sizes length mismatch: {len(self.keys)} vs {len(self.sizes)}"
+            )
+        if not self.keys:
+            raise TraceFormatError("empty request in trace")
+        if self.is_put and len(self.is_put) != len(self.keys):
+            raise TraceFormatError("is_put length mismatch")
+        if not self.is_put:
+            self.is_put = [False] * len(self.keys)
+
+    def to_json(self) -> str:
+        record = {"t": self.t, "keys": self.keys, "sizes": self.sizes}
+        if any(self.is_put):
+            record["is_put"] = self.is_put
+        return json.dumps(record, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str, lineno: int = 0) -> "TraceRecord":
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise TraceFormatError(f"line {lineno}: record must be an object")
+        for name in _REQUIRED_FIELDS:
+            if name not in raw:
+                raise TraceFormatError(f"line {lineno}: missing field {name!r}")
+        try:
+            return cls(
+                t=float(raw["t"]),
+                keys=[str(k) for k in raw["keys"]],
+                sizes=[int(s) for s in raw["sizes"]],
+                is_put=[bool(p) for p in raw.get("is_put", [])],
+            )
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(f"line {lineno}: bad field value: {exc}") from exc
+
+
+def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> int:
+    """Write records to ``path`` in JSONL; returns the record count."""
+    path = Path(path)
+    count = 0
+    previous_t = -float("inf")
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            if record.t < previous_t:
+                raise TraceFormatError(
+                    f"records out of order: {record.t} after {previous_t}"
+                )
+            previous_t = record.t
+            fh.write(record.to_json())
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Lazily read records from a JSONL trace file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        previous_t = -float("inf")
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = TraceRecord.from_json(line, lineno)
+            if record.t < previous_t:
+                raise TraceFormatError(
+                    f"line {lineno}: arrival times must be non-decreasing"
+                )
+            previous_t = record.t
+            yield record
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read an entire trace into memory."""
+    return list(read_trace(path))

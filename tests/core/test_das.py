@@ -1,0 +1,170 @@
+"""Unit tests for the DAS queue and tagger."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveThreshold
+from repro.core.das import TAG_HORIZON, TAG_RPT, DasPolicy, DasQueue, DasTagger
+from repro.core.estimator import ServerEstimates
+from repro.errors import ConfigError
+from repro.kvstore.items import Feedback
+
+from tests.schedulers.helpers import drain, make_context, make_multiget, make_op
+
+
+def das_queue(**kwargs) -> DasQueue:
+    controller = AdaptiveThreshold(
+        k_init=kwargs.pop("k_init", 2.0),
+        k_min=kwargs.pop("k_min", 2.0),
+        k_max=kwargs.pop("k_max", 2.0),
+        enabled=kwargs.pop("adaptive", False),
+    )
+    return DasQueue(
+        make_context(),
+        controller,
+        scale_alpha=kwargs.pop("scale_alpha", 1.0),
+        starvation_factor=kwargs.pop("starvation_factor", 1e9),
+        **kwargs,
+    )
+
+
+def push_tagged(queue, rpt, request_id=0, now=0.0):
+    op = make_op(demand=rpt, request_id=request_id, tag={TAG_RPT: rpt})
+    queue.push(op, now)
+    return op
+
+
+class TestTagger:
+    def test_stamps_rpt_and_horizon(self):
+        request = make_multiget([(0, 1.0), (1, 2.0)])
+        DasTagger().tag_request(request, 0.0, None)
+        for op in request.operations:
+            assert op.tag[TAG_RPT] == pytest.approx(2.0)
+            assert op.tag[TAG_HORIZON] == pytest.approx(2.0)
+
+    def test_rpt_uses_rate_estimates(self):
+        request = make_multiget([(0, 1.0), (1, 2.0)])
+        view = ServerEstimates(alpha_rate=1.0, drain=False)
+        view.observe(Feedback(0, 0.0, 0, 0.25, 0.0))  # server 0 at 25% speed
+        DasTagger().tag_request(request, 0.0, view)
+        assert request.operations[0].tag[TAG_RPT] == pytest.approx(4.0)
+
+
+class TestFrontOrdering:
+    def test_srpt_order_within_front_band(self):
+        queue = das_queue()
+        for i, rpt in enumerate([3.0, 1.0, 2.0]):
+            push_tagged(queue, rpt, request_id=i)
+        assert [o.tag[TAG_RPT] for o in drain(queue)] == [1.0, 2.0, 3.0]
+
+    def test_fifo_front_when_srpt_disabled(self):
+        queue = das_queue(srpt_front=False)
+        ops = [push_tagged(queue, rpt, request_id=i, now=float(i))
+               for i, rpt in enumerate([3.0, 1.0, 2.0])]
+        assert drain(queue, now=10.0) == ops
+
+    def test_untagged_op_falls_back_to_demand(self):
+        queue = das_queue()
+        op_small = make_op(demand=1.0, request_id=1)
+        op_large = make_op(demand=5.0, request_id=2)
+        queue.push(op_large, 0.0)
+        queue.push(op_small, 0.0)
+        assert queue.pop(0.0) is op_small
+
+
+class TestDemotion:
+    def test_outlier_goes_to_last_band(self):
+        queue = das_queue()  # fixed k=2, alpha=1
+        push_tagged(queue, 1.0, request_id=0)  # seeds the scale
+        giant = push_tagged(queue, 10.0, request_id=1)  # 10 > 2*1
+        tiny = push_tagged(queue, 1.0, request_id=2)
+        assert queue.demotions == 1
+        assert queue.last_length == 1
+        order = drain(queue)
+        assert order[-1] is giant
+        assert order[0].request_id == 0 or order[0] is tiny
+
+    def test_first_op_never_demoted(self):
+        queue = das_queue()
+        push_tagged(queue, 100.0)
+        assert queue.demotions == 0
+
+    def test_no_demotion_when_last_band_disabled(self):
+        queue = das_queue(last_band=False)
+        push_tagged(queue, 1.0)
+        push_tagged(queue, 100.0)
+        assert queue.demotions == 0
+        assert queue.last_length == 0
+
+    def test_last_band_keeps_rpt_order(self):
+        # Small scale_alpha keeps the threshold anchored near the seed op
+        # even as outliers fold into the EWMA.
+        queue = das_queue(scale_alpha=0.01)
+        push_tagged(queue, 1.0, request_id=0)
+        a = push_tagged(queue, 50.0, request_id=1)
+        b = push_tagged(queue, 10.0, request_id=2)
+        assert queue.demotions == 2
+        queue.pop(0.0)  # the small front op
+        assert queue.pop(0.0) is b  # smaller demoted RPT first
+        assert queue.pop(0.0) is a
+
+    def test_threshold_follows_scale(self):
+        queue = das_queue()
+        push_tagged(queue, 4.0)
+        assert queue.rpt_scale == pytest.approx(4.0)
+        assert queue.threshold == pytest.approx(8.0)
+
+
+class TestStarvationBound:
+    def test_aged_op_promoted_to_front(self):
+        queue = das_queue(starvation_factor=5.0)
+        push_tagged(queue, 1.0, request_id=0, now=0.0)
+        giant = push_tagged(queue, 10.0, request_id=1, now=0.0)
+        assert queue.demotions == 1
+        # Keep feeding small ops; far enough in the future the giant's wait
+        # exceeds 5 * threshold and it jumps the queue.
+        push_tagged(queue, 1.0, request_id=2, now=100.0)
+        served = queue.pop(now=100.0)
+        assert served is giant
+        assert queue.promotions == 1
+
+    def test_no_promotion_before_budget(self):
+        queue = das_queue(starvation_factor=1e9)
+        push_tagged(queue, 1.0, request_id=0)
+        push_tagged(queue, 10.0, request_id=1)
+        assert queue.pop(now=50.0).request_id == 0
+        assert queue.promotions == 0
+
+
+class TestPolicy:
+    def test_policy_builds_working_queue(self):
+        queue = DasPolicy().make_queue(make_context())
+        assert isinstance(queue, DasQueue)
+
+    def test_needs_feedback_flag(self):
+        assert DasPolicy.needs_feedback is True
+
+    def test_ablation_flags_propagate(self):
+        policy = DasPolicy(adaptive=False, last_band=False, srpt_front=False)
+        queue = policy.make_queue(make_context())
+        assert queue.controller.enabled is False
+        assert queue._last_band_enabled is False
+        assert queue._srpt_front is False
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            DasQueue(make_context(), AdaptiveThreshold(), scale_alpha=0.0)
+        with pytest.raises(ConfigError):
+            DasQueue(make_context(), AdaptiveThreshold(), starvation_factor=0.0)
+
+    def test_adaptive_demotes_more_under_pressure(self):
+        policy = DasPolicy(
+            k_init=8.0, k_min=1.5, k_max=8.0, q_low=1.0, q_high=4.0,
+            gain=0.2, ctrl_alpha=1.0, adapt_interval=0.0, scale_alpha=0.1,
+        )
+        queue = policy.make_queue(make_context())
+        # Build sustained pressure with a long queue of small ops.
+        now = 0.0
+        for i in range(50):
+            push_tagged(queue, 1.0, request_id=i, now=now)
+            now += 0.01
+        assert queue.controller.k < 8.0  # shrank under pressure

@@ -1,0 +1,119 @@
+"""Unit tests for EWMA estimators and per-server estimates."""
+
+import pytest
+
+from repro.core.estimator import EwmaEstimator, ServerEstimates
+from repro.errors import ConfigError
+from repro.kvstore.items import Feedback
+
+
+def feedback(server_id=0, queued_work=1.0, queue_length=5, rate=1.0, t=0.0):
+    return Feedback(
+        server_id=server_id,
+        queued_work=queued_work,
+        queue_length=queue_length,
+        rate_sample=rate,
+        timestamp=t,
+    )
+
+
+class TestEwma:
+    def test_first_sample_initializes(self):
+        ewma = EwmaEstimator(alpha=0.1)
+        assert ewma.value is None
+        ewma.update(10.0)
+        assert ewma.value == 10.0
+
+    def test_smoothing_math(self):
+        ewma = EwmaEstimator(alpha=0.5)
+        ewma.update(10.0)
+        ewma.update(20.0)
+        assert ewma.value == pytest.approx(15.0)
+        ewma.update(15.0)
+        assert ewma.value == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last(self):
+        ewma = EwmaEstimator(alpha=1.0)
+        ewma.update(1.0)
+        ewma.update(99.0)
+        assert ewma.value == 99.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ConfigError):
+            EwmaEstimator(alpha=1.5)
+
+    def test_value_or_default(self):
+        ewma = EwmaEstimator(alpha=0.5)
+        assert ewma.value_or(7.0) == 7.0
+        ewma.update(3.0)
+        assert ewma.value_or(7.0) == 3.0
+
+    def test_reset(self):
+        ewma = EwmaEstimator(alpha=0.5)
+        ewma.update(3.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.samples == 0
+
+    def test_initial_value(self):
+        ewma = EwmaEstimator(alpha=0.5, initial=2.0)
+        assert ewma.value == 2.0
+        ewma.update(4.0)
+        assert ewma.value == pytest.approx(3.0)
+
+
+class TestServerEstimates:
+    def test_unknown_server_defaults(self):
+        estimates = ServerEstimates(default_rate=1.5)
+        assert estimates.rate(9) == 1.5
+        assert estimates.queued_work(9, now=100.0) == 0.0
+
+    def test_observe_updates_rate_and_work(self):
+        estimates = ServerEstimates(alpha_work=1.0, alpha_rate=1.0, drain=False)
+        estimates.observe(feedback(server_id=2, queued_work=3.0, rate=0.5, t=1.0))
+        assert estimates.rate(2) == 0.5
+        assert estimates.queued_work(2, now=1.0) == 3.0
+
+    def test_drain_decays_work_between_observations(self):
+        estimates = ServerEstimates(alpha_work=1.0, drain=True)
+        estimates.observe(feedback(queued_work=2.0, t=10.0))
+        assert estimates.queued_work(0, now=10.0) == pytest.approx(2.0)
+        assert estimates.queued_work(0, now=11.0) == pytest.approx(1.0)
+        assert estimates.queued_work(0, now=20.0) == 0.0  # floored
+
+    def test_drain_disabled_keeps_work(self):
+        estimates = ServerEstimates(alpha_work=1.0, drain=False)
+        estimates.observe(feedback(queued_work=2.0, t=10.0))
+        assert estimates.queued_work(0, now=100.0) == 2.0
+
+    def test_negative_queued_work_clamped(self):
+        estimates = ServerEstimates(alpha_work=1.0)
+        estimates.observe(feedback(queued_work=-5.0, t=0.0))
+        assert estimates.queued_work(0, now=0.0) == 0.0
+
+    def test_zero_rate_sample_ignored(self):
+        estimates = ServerEstimates(alpha_rate=1.0)
+        estimates.observe(feedback(rate=0.8, t=0.0))
+        estimates.observe(feedback(rate=0.0, t=1.0))
+        assert estimates.rate(0) == 0.8
+
+    def test_observation_counters(self):
+        estimates = ServerEstimates()
+        estimates.observe(feedback(server_id=1))
+        estimates.observe(feedback(server_id=1))
+        estimates.observe(feedback(server_id=2))
+        assert estimates.observations(1) == 2
+        assert estimates.observations(3) == 0
+        assert estimates.feedback_count == 3
+        assert estimates.known_servers() == [1, 2]
+
+    def test_invalid_default_rate(self):
+        with pytest.raises(ConfigError):
+            ServerEstimates(default_rate=0)
+
+    def test_wait_estimate_mirrors_queued_work(self):
+        estimates = ServerEstimates(alpha_work=1.0, drain=False)
+        estimates.observe(feedback(queued_work=4.0, t=0.0))
+        assert estimates.wait_estimate(0, now=0.0) == pytest.approx(4.0)

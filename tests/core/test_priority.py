@@ -1,0 +1,85 @@
+"""Unit tests for DAS priority computations."""
+
+import pytest
+
+from repro.core.estimator import ServerEstimates
+from repro.core.priority import (
+    completion_horizon,
+    remaining_processing_time,
+    residual_processing_time,
+)
+from repro.kvstore.items import Feedback
+
+from tests.schedulers.helpers import make_multiget
+
+
+def estimates_with(rates=None, work=None):
+    view = ServerEstimates(alpha_work=1.0, alpha_rate=1.0, drain=False)
+    for server_id, rate in (rates or {}).items():
+        view.observe(
+            Feedback(server_id, queued_work=(work or {}).get(server_id, 0.0),
+                     queue_length=0, rate_sample=rate, timestamp=0.0)
+        )
+    return view
+
+
+class TestRemainingProcessingTime:
+    def test_without_estimates_is_bottleneck(self):
+        request = make_multiget([(0, 1.0), (0, 2.0), (1, 2.5)])
+        assert remaining_processing_time(request, 0.0, None) == pytest.approx(3.0)
+
+    def test_slow_server_inflates_rpt(self):
+        request = make_multiget([(0, 2.0), (1, 2.0)])
+        view = estimates_with(rates={0: 0.5, 1: 1.0})
+        # Server 0's slice takes 2.0/0.5 = 4.0 at its estimated speed.
+        assert remaining_processing_time(request, 0.0, view) == pytest.approx(4.0)
+
+    def test_fast_server_deflates_rpt(self):
+        request = make_multiget([(0, 2.0)])
+        view = estimates_with(rates={0: 2.0})
+        assert remaining_processing_time(request, 0.0, view) == pytest.approx(1.0)
+
+    def test_unknown_servers_use_default_rate(self):
+        request = make_multiget([(5, 3.0)])
+        view = estimates_with(rates={})
+        assert remaining_processing_time(request, 0.0, view) == pytest.approx(3.0)
+
+    def test_empty_request(self):
+        request = make_multiget([])
+        assert remaining_processing_time(request, 0.0, None) == 0.0
+
+
+class TestCompletionHorizon:
+    def test_includes_queued_work(self):
+        request = make_multiget([(0, 1.0)])
+        view = estimates_with(rates={0: 1.0}, work={0: 5.0})
+        assert completion_horizon(request, 0.0, view) == pytest.approx(6.0)
+
+    def test_max_over_servers(self):
+        request = make_multiget([(0, 1.0), (1, 1.0)])
+        view = estimates_with(rates={0: 1.0, 1: 1.0}, work={0: 0.0, 1: 9.0})
+        assert completion_horizon(request, 0.0, view) == pytest.approx(10.0)
+
+    def test_without_estimates_equals_rpt(self):
+        request = make_multiget([(0, 2.0), (1, 3.0)])
+        assert completion_horizon(request, 0.0, None) == pytest.approx(
+            remaining_processing_time(request, 0.0, None)
+        )
+
+
+class TestResidual:
+    def test_equals_rpt_before_any_completion(self):
+        request = make_multiget([(0, 1.0), (1, 2.0)])
+        assert residual_processing_time(request, 0.0, None) == pytest.approx(
+            remaining_processing_time(request, 0.0, None)
+        )
+
+    def test_drops_finished_operations(self):
+        request = make_multiget([(0, 1.0), (1, 2.0)])
+        request.operations[1].finish_time = 5.0  # the bottleneck finished
+        assert residual_processing_time(request, 5.0, None) == pytest.approx(1.0)
+
+    def test_zero_when_all_done(self):
+        request = make_multiget([(0, 1.0)])
+        request.operations[0].finish_time = 1.0
+        assert residual_processing_time(request, 1.0, None) == 0.0

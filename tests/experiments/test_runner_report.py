@@ -1,0 +1,128 @@
+"""Tests for the scenario runner, reporting, and CLI plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.cli import build_parser, main
+from repro.experiments.report import (
+    format_reduction_table,
+    format_scenario_table,
+    scenario_markdown,
+)
+from repro.experiments.runner import run_cell, run_scenario
+from repro.experiments.scenarios import (
+    RunPoint,
+    Scenario,
+    SchedulerSpec,
+)
+from repro.kvstore.config import SimulationConfig
+
+from tests.conftest import small_config
+
+
+def tiny_scenario(metric="mean"):
+    points = tuple(
+        RunPoint(
+            x=load,
+            config=small_config(load=load),
+            sim=SimulationConfig(max_requests=200),
+        )
+        for load in (0.3, 0.6)
+    )
+    return Scenario(
+        experiment_id="T1",
+        title="tiny test scenario",
+        x_label="load",
+        metric=metric,
+        points=points,
+        schedulers=(
+            SchedulerSpec("FCFS", "fcfs"),
+            SchedulerSpec("DAS", "das"),
+        ),
+        notes="test only",
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_scenario(tiny_scenario())
+
+
+class TestRunner:
+    def test_all_cells_present(self, tiny_result):
+        assert len(tiny_result.cells) == 4
+        cell = tiny_result.cell(0.3, "FCFS")
+        assert cell.requests > 0
+        assert cell.summary.mean > 0
+
+    def test_series_ordering(self, tiny_result):
+        series = tiny_result.series("FCFS")
+        assert len(series) == 2
+        assert series[0] < series[1]  # higher load -> higher mean RCT
+
+    def test_metric_lookup(self, tiny_result):
+        cell = tiny_result.cell(0.3, "DAS")
+        assert cell.metric("p99") == cell.summary.p99
+        assert cell.metric("mean_slowdown") == cell.mean_slowdown
+        with pytest.raises(ConfigError):
+            cell.metric("nonsense")
+
+    def test_reduction_vs(self, tiny_result):
+        reductions = tiny_result.reduction_vs("FCFS", "DAS")
+        assert len(reductions) == 2
+        assert all(-1.0 < r < 1.0 for r in reductions)
+
+    def test_missing_cell_raises(self, tiny_result):
+        with pytest.raises(ConfigError):
+            tiny_result.cell(0.99, "FCFS")
+
+    def test_progress_callback_called(self):
+        messages = []
+        run_scenario(tiny_scenario(), progress=messages.append)
+        assert len(messages) == 4
+        assert "T1" in messages[0]
+
+    def test_run_cell_injects_scheduler(self):
+        point = tiny_scenario().points[0]
+        cell = run_cell(point, SchedulerSpec("SBF", "sbf"))
+        assert cell.scheduler == "SBF"
+
+
+class TestReport:
+    def test_scenario_table_contains_all_labels(self, tiny_result):
+        text = format_scenario_table(tiny_result)
+        assert "T1" in text
+        assert "FCFS" in text and "DAS" in text
+        assert "0.3" in text and "0.6" in text
+        assert "note: test only" in text
+
+    def test_metric_override(self, tiny_result):
+        text = format_scenario_table(tiny_result, metric="p99")
+        assert "p99 (ms)" in text
+
+    def test_reduction_table(self, tiny_result):
+        text = format_reduction_table(
+            tiny_result, baseline_label="FCFS",
+            comparator_label="FCFS", treatment_label="DAS",
+        )
+        assert "vs FCFS (%)" in text
+
+    def test_markdown_rendering(self, tiny_result):
+        md = scenario_markdown(tiny_result)
+        assert md.startswith("| load |")
+        assert "| FCFS (ms) |" in md
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["E1", "--scale", "0.5"])
+        assert args.experiments == ["E1"]
+        assert args.scale == 0.5
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-experiments" in capsys.readouterr().out

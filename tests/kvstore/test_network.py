@@ -1,0 +1,133 @@
+"""Unit tests for the network models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kvstore.network import (
+    TopologyNetwork,
+    UniformLatencyNetwork,
+    fat_tree_like_topology,
+)
+from repro.sim.core import Environment
+
+
+class TestUniformNetwork:
+    def test_constant_delay(self, env):
+        net = UniformLatencyNetwork(env, base_delay=1e-3)
+        assert net.delay("a", "b") == 1e-3
+
+    def test_delivery_after_delay(self, env):
+        net = UniformLatencyNetwork(env, base_delay=2.0)
+        received = []
+        net.send("a", "b", "hello", lambda p: received.append((env.now, p)))
+        env.run()
+        assert received == [(2.0, "hello")]
+
+    def test_zero_delay_still_goes_through_event_queue(self, env):
+        net = UniformLatencyNetwork(env, base_delay=0.0)
+        received = []
+        net.send("a", "b", "x", lambda p: received.append(p))
+        assert received == []  # not synchronous
+        env.run()
+        assert received == ["x"]
+
+    def test_message_ordering_preserved_without_jitter(self, env):
+        net = UniformLatencyNetwork(env, base_delay=1e-3)
+        received = []
+        for i in range(5):
+            net.send("a", "b", i, received.append)
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_jitter_requires_rng(self, env):
+        with pytest.raises(ConfigError):
+            UniformLatencyNetwork(env, jitter_mean=1e-3)
+
+    def test_jitter_adds_positive_delay(self, env):
+        net = UniformLatencyNetwork(
+            env, base_delay=1e-3, jitter_mean=1e-3, rng=np.random.default_rng(0)
+        )
+        delays = [net.delay("a", "b") for _ in range(100)]
+        assert all(d >= 1e-3 for d in delays)
+        assert np.mean(delays) == pytest.approx(2e-3, rel=0.3)
+
+    def test_counters(self, env):
+        net = UniformLatencyNetwork(env)
+        net.send("a", "b", None, lambda p: None, size_bytes=100)
+        net.send("a", "b", None, lambda p: None, size_bytes=50)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 150
+
+    def test_negative_base_delay_rejected(self, env):
+        with pytest.raises(ConfigError):
+            UniformLatencyNetwork(env, base_delay=-1)
+
+
+class TestTopologyNetwork:
+    def test_shortest_path_delay(self, env):
+        graph = fat_tree_like_topology(n_servers=4, n_clients=2, rack_size=2)
+        net = TopologyNetwork(env, graph)
+        # client -> spine -> tor -> server
+        delay = net.delay(("client", 0), ("server", 0))
+        assert delay > 0
+
+    def test_same_rack_cheaper_than_cross_rack(self, env):
+        graph = fat_tree_like_topology(
+            n_servers=4,
+            n_clients=1,
+            rack_size=2,
+            intra_rack_delay=10e-6,
+            inter_rack_delay=100e-6,
+        )
+        net = TopologyNetwork(env, graph)
+        same_rack = net.delay(("server", 0), ("server", 1))
+        cross_rack = net.delay(("server", 0), ("server", 2))
+        assert same_rack < cross_rack
+
+    def test_self_delay_zero(self, env):
+        graph = fat_tree_like_topology(2, 1)
+        net = TopologyNetwork(env, graph)
+        assert net.delay(("server", 0), ("server", 0)) == 0.0
+
+    def test_unknown_endpoint_rejected(self, env):
+        graph = fat_tree_like_topology(2, 1)
+        net = TopologyNetwork(env, graph)
+        with pytest.raises(ConfigError):
+            net.delay(("server", 99), ("server", 0))
+
+    def test_delivery_via_topology(self, env):
+        graph = fat_tree_like_topology(2, 1)
+        net = TopologyNetwork(env, graph)
+        received = []
+        net.send(("client", 0), ("server", 1), "msg", lambda p: received.append(p))
+        env.run()
+        assert received == ["msg"]
+        assert env.now == pytest.approx(net.delay(("client", 0), ("server", 1)))
+
+    def test_distance_caching_consistent(self, env):
+        graph = fat_tree_like_topology(4, 2)
+        net = TopologyNetwork(env, graph)
+        first = net.delay(("client", 0), ("server", 3))
+        second = net.delay(("client", 0), ("server", 3))
+        assert first == second
+
+
+class TestTopologyBuilder:
+    def test_all_endpoints_present(self):
+        graph = fat_tree_like_topology(n_servers=10, n_clients=3, rack_size=4)
+        for s in range(10):
+            assert ("server", s) in graph
+        for c in range(3):
+            assert ("client", c) in graph
+
+    def test_rack_count(self):
+        graph = fat_tree_like_topology(n_servers=10, n_clients=1, rack_size=4)
+        tors = [n for n in graph if isinstance(n, tuple) and n[0] == "tor"]
+        assert len(tors) == 3  # ceil(10/4)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            fat_tree_like_topology(0, 1)
+        with pytest.raises(ConfigError):
+            fat_tree_like_topology(1, 0)

@@ -1,0 +1,198 @@
+"""Unit tests for the simulated server (direct harness, no full cluster)."""
+
+import pytest
+
+from repro.kvstore.items import OpKind, Operation, Request
+from repro.kvstore.network import UniformLatencyNetwork
+from repro.kvstore.server import Server, make_periodic_broadcaster
+from repro.kvstore.service import DegradationEvent, ServiceModel
+from repro.kvstore.storage import StorageEngine
+from repro.schedulers.base import QueueContext
+from repro.schedulers.registry import create_policy
+from repro.sim.core import Environment
+
+import numpy as np
+
+
+class FakeClient:
+    """Collects responses like the real client would."""
+
+    def __init__(self, client_id=0):
+        self.client_id = client_id
+        self.responses = []
+
+    def handle_response(self, response):
+        self.responses.append(response)
+
+
+def make_server(env, scheduler="fcfs", base_delay=0.0, **service_kwargs):
+    policy = create_policy(scheduler)
+    queue = policy.make_queue(
+        QueueContext(server_id=0, rng=np.random.default_rng(0))
+    )
+    service = ServiceModel(
+        per_op_overhead=1e-3, byte_rate=1e6, **service_kwargs
+    )
+    storage = StorageEngine(server_id=0)
+    network = UniformLatencyNetwork(env, base_delay=base_delay)
+    server = Server(env, 0, queue, service, storage, network)
+    client = FakeClient()
+    server.clients[0] = client
+    return server, client
+
+
+def make_op(key="k", size=1000, client_id=0, arrival=0.0, kind=OpKind.GET):
+    request = Request(request_id=1, client_id=client_id, arrival_time=arrival)
+    op = Operation(
+        request=request,
+        key=key,
+        kind=kind,
+        value_size=size,
+        server_id=0,
+        demand=1e-3 + size / 1e6,
+    )
+    request.operations.append(op)
+    return op
+
+
+class TestServing:
+    def test_serves_stored_key(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+        server.handle_operation(make_op("k"))
+        env.run(until=1.0)
+        assert len(client.responses) == 1
+        response = client.responses[0]
+        assert response.ok
+        assert response.value_size == 1000
+
+    def test_missing_key_fails_cleanly(self, env):
+        server, client = make_server(env)
+        server.handle_operation(make_op("ghost"))
+        env.run(until=1.0)
+        response = client.responses[0]
+        assert not response.ok
+        assert response.error == "key not found"
+        assert server.ops_failed == 1
+
+    def test_put_operation_writes_storage(self, env):
+        server, client = make_server(env)
+        server.handle_operation(make_op("new", size=512, kind=OpKind.PUT))
+        env.run(until=1.0)
+        assert client.responses[0].ok
+        assert server.storage.get("new").size == 512
+
+    def test_service_time_matches_model(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+        op = make_op("k")
+        server.handle_operation(op)
+        env.run(until=1.0)
+        # demand = 1ms + 1ms = 2ms at nominal speed, no noise
+        assert op.service_time == pytest.approx(2e-3)
+
+    def test_ops_served_counter_and_busy_time(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+        for _ in range(3):
+            server.handle_operation(make_op("k"))
+        env.run(until=1.0)
+        assert server.ops_served == 3
+        assert server.busy_time == pytest.approx(3 * 2e-3)
+        assert server.utilization(1.0) == pytest.approx(6e-3)
+
+    def test_server_sleeps_when_idle_and_wakes_on_push(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+
+        def late_push():
+            yield env.timeout(5.0)
+            server.handle_operation(make_op("k"))
+
+        env.process(late_push())
+        env.run(until=10.0)
+        assert len(client.responses) == 1
+        op = client.responses[0].operation
+        assert op.start_time == pytest.approx(5.0)
+
+    def test_fifo_order_under_fcfs(self, env):
+        server, client = make_server(env)
+        server.storage.put("a", 100)
+        server.storage.put("b", 100)
+        server.handle_operation(make_op("a"))
+        server.handle_operation(make_op("b"))
+        env.run(until=1.0)
+        keys = [r.operation.key for r in client.responses]
+        assert keys == ["a", "b"]
+
+
+class TestFeedback:
+    def test_response_carries_feedback(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+        server.handle_operation(make_op("k"))
+        env.run(until=1.0)
+        feedback = client.responses[0].feedback
+        assert feedback is not None
+        assert feedback.server_id == 0
+        assert feedback.queue_length == 0  # nothing left behind
+
+    def test_feedback_disabled(self, env):
+        policy = create_policy("fcfs")
+        queue = policy.make_queue(QueueContext(0, np.random.default_rng(0)))
+        network = UniformLatencyNetwork(env, base_delay=0.0)
+        server = Server(
+            env, 0, queue, ServiceModel(per_op_overhead=1e-3, byte_rate=1e6),
+            StorageEngine(), network, piggyback_feedback=False,
+        )
+        client = FakeClient()
+        server.clients[0] = client
+        server.storage.put("k", 100)
+        server.handle_operation(make_op("k"))
+        env.run(until=1.0)
+        assert client.responses[0].feedback is None
+
+    def test_feedback_reports_queued_work(self, env):
+        server, client = make_server(env)
+        for key in ("a", "b", "c"):
+            server.storage.put(key, 1000)
+            server.handle_operation(make_op(key))
+        feedback = server.make_feedback()
+        # Three ops of 2ms each queued (one may be in service already).
+        assert feedback.queued_work > 0
+        assert feedback.queue_length >= 2
+
+    def test_degraded_server_learns_its_rate(self, env):
+        server, client = make_server(
+            env, degradations=[DegradationEvent(0.0, 0.5)]
+        )
+        server.storage.put("k", 1000)
+        for _ in range(20):
+            server.handle_operation(make_op("k"))
+        env.run(until=5.0)
+        # Measured rate converges toward the degraded speed 0.5.
+        assert server.measured_rate == pytest.approx(0.5, rel=0.1)
+
+    def test_in_service_residual(self, env):
+        server, client = make_server(env)
+        server.storage.put("k", 1000)
+        server.handle_operation(make_op("k"))
+
+        def peek():
+            yield env.timeout(1e-3)  # halfway through the 2ms service
+            return server.in_service_residual(env.now)
+
+        p = env.process(peek())
+        env.run(until=p)
+        assert p.value == pytest.approx(1e-3)
+        env.run()
+        assert server.in_service_residual(env.now) == 0.0
+
+    def test_periodic_broadcaster_emits(self, env):
+        server, client = make_server(env)
+        snapshots = []
+        env.process(
+            make_periodic_broadcaster(env, server, 0.5, snapshots.append)
+        )
+        env.run(until=2.1)
+        assert len(snapshots) == 4  # at 0.5, 1.0, 1.5, 2.0

@@ -1,0 +1,140 @@
+"""Unit tests for the in-memory storage engine."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, StorageError
+from repro.kvstore.storage import StorageEngine
+
+
+@pytest.fixture
+def store() -> StorageEngine:
+    return StorageEngine(server_id=1)
+
+
+class TestCrud:
+    def test_put_then_get(self, store):
+        store.put("k", 100, now=1.0)
+        record = store.get("k", now=2.0)
+        assert record.size == 100
+        assert record.created_at == 1.0
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError, match="nope"):
+            store.get("nope")
+
+    def test_overwrite_bumps_version(self, store):
+        v1 = store.put("k", 10)
+        v2 = store.put("k", 20)
+        assert v2 > v1
+        assert store.get("k").size == 20
+
+    def test_delete(self, store):
+        store.put("k", 10)
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        with pytest.raises(KeyNotFoundError):
+            store.get("k")
+
+    def test_negative_size_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put("k", -1)
+
+    def test_size_of(self, store):
+        store.put("k", 4096)
+        assert store.size_of("k") == 4096
+
+    def test_contains(self, store):
+        assert not store.contains("k")
+        store.put("k", 1)
+        assert store.contains("k")
+        # contains must not disturb hit/miss counters
+        assert store.hits == 0
+        assert store.misses == 0
+
+    def test_payload_storage_when_enabled(self):
+        store = StorageEngine(track_payloads=True)
+        store.put("k", 5, payload=b"hello")
+        assert store.get("k").payload == b"hello"
+
+    def test_payload_dropped_when_disabled(self, store):
+        store.put("k", 5, payload=b"hello")
+        assert store.get("k").payload is None
+
+
+class TestTtl:
+    def test_expired_key_misses(self, store):
+        store.put("k", 10, now=0.0, ttl=5.0)
+        assert store.get("k", now=4.9).size == 10
+        with pytest.raises(KeyNotFoundError):
+            store.get("k", now=5.0)
+        assert store.expirations == 1
+
+    def test_nonpositive_ttl_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put("k", 10, ttl=0)
+
+    def test_sweep_expired(self, store):
+        for i in range(5):
+            store.put(f"k{i}", 10, now=0.0, ttl=1.0 + i)
+        removed = store.sweep_expired(now=3.0)
+        assert removed == 3  # ttl 1.0, 2.0, and 3.0 (expiry is inclusive)
+        assert store.key_count == 2
+
+    def test_expiry_updates_byte_count(self, store):
+        store.put("k", 100, now=0.0, ttl=1.0)
+        assert store.byte_count == 100
+        store.sweep_expired(now=2.0)
+        assert store.byte_count == 0
+
+
+class TestNamespaces:
+    def test_namespaces_isolate_keys(self, store):
+        store.create_namespace("other")
+        store.put("k", 1)
+        store.put("k", 2, namespace="other")
+        assert store.get("k").size == 1
+        assert store.get("k", namespace="other").size == 2
+
+    def test_duplicate_namespace_rejected(self, store):
+        store.create_namespace("x")
+        with pytest.raises(StorageError):
+            store.create_namespace("x")
+
+    def test_unknown_namespace_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.get("k", namespace="ghost")
+
+    def test_namespace_listing(self, store):
+        store.create_namespace("b")
+        store.create_namespace("a")
+        assert store.namespaces() == ["a", "b", "default"]
+
+
+class TestAccounting:
+    def test_byte_count_tracks_overwrites(self, store):
+        store.put("a", 100)
+        store.put("b", 50)
+        store.put("a", 10)  # overwrite shrinks
+        assert store.byte_count == 60
+
+    def test_stats_shape(self, store):
+        store.put("a", 1)
+        store.get("a")
+        try:
+            store.get("missing")
+        except KeyNotFoundError:
+            pass
+        stats = store.stats()
+        assert stats["keys"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+
+    def test_scan_yields_all(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert {k for k, _ in store.scan()} == {"a", "b"}
+
+    def test_repr(self, store):
+        store.put("a", 1)
+        assert "keys=1" in repr(store)

@@ -1,0 +1,228 @@
+"""Tests for collectors, summaries, percentiles, and time series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kvstore.items import Request
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.percentiles import P2Quantile, exact_percentile, percentile_profile
+from repro.metrics.summary import compare_means, mean_confidence_interval, summarize
+from repro.metrics.timeseries import WindowedSeries
+
+from tests.schedulers.helpers import make_multiget
+
+
+def finished_request(request_id=0, arrival=0.0, completion=1.0, slices=((0, 0.5),)):
+    request = make_multiget(list(slices), request_id=request_id, arrival=arrival)
+    request.completion_time = completion
+    return request
+
+
+class TestCollector:
+    def test_record_and_count(self):
+        collector = MetricsCollector()
+        collector.record_request(finished_request())
+        assert len(collector) == 1
+
+    def test_unfinished_request_rejected(self):
+        collector = MetricsCollector()
+        request = make_multiget([(0, 1.0)])
+        with pytest.raises(ConfigError):
+            collector.record_request(request)
+
+    def test_rct_computed(self):
+        collector = MetricsCollector()
+        collector.record_request(finished_request(arrival=2.0, completion=5.0))
+        assert collector.rcts()[0] == pytest.approx(3.0)
+
+    def test_warmup_filters_by_arrival(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record_request(
+                finished_request(request_id=i, arrival=float(i), completion=i + 1.0)
+            )
+        assert len(collector.rcts(warmup_time=5.0)) == 5
+
+    def test_cooldown_filter(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record_request(
+                finished_request(request_id=i, arrival=float(i), completion=i + 1.0)
+            )
+        window = collector.filtered(warmup_time=2.0, cooldown_time=7.0)
+        assert len(window) == 6
+
+    def test_warmup_time_for_fraction(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record_request(
+                finished_request(request_id=i, arrival=float(i), completion=i + 1.0)
+            )
+        assert collector.warmup_time_for_fraction(0.2) == pytest.approx(2.0)
+        assert collector.warmup_time_for_fraction(0.0) == 0.0
+
+    def test_mean_rct_empty_raises(self):
+        with pytest.raises(ConfigError):
+            MetricsCollector().mean_rct()
+
+    def test_slowdown_normalizes_by_bottleneck(self):
+        collector = MetricsCollector()
+        collector.record_request(
+            finished_request(completion=1.0, slices=((0, 0.5),))
+        )
+        assert collector.slowdowns()[0] == pytest.approx(2.0)
+
+    def test_op_counters(self):
+        collector = MetricsCollector()
+        collector.record_op_completion(True)
+        collector.record_op_completion(False)
+        assert collector.ops_completed == 1
+        assert collector.ops_failed == 1
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        stats = summarize(np.arange(1, 101, dtype=float))
+        assert stats.count == 100
+        assert stats.mean == pytest.approx(50.5)
+        assert stats.p50 == pytest.approx(50.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 100.0
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.p999
+
+    def test_summarize_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+    def test_as_dict_and_str(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.as_dict()["count"] == 3
+        assert "mean=" in str(stats)
+
+    def test_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=500)
+        mean, lower, upper = mean_confidence_interval(samples)
+        assert lower < mean < upper
+        assert lower < 10.0 < upper  # CI covers the true mean here
+
+    def test_confidence_interval_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            mean_confidence_interval([1.0])
+
+    def test_compare_means_reduction(self):
+        baseline = [10.0 + 0.01 * i for i in range(50)]
+        treatment = [5.0 + 0.005 * i for i in range(50)]
+        result = compare_means(baseline=baseline, treatment=treatment)
+        expected = 1.0 - np.mean(treatment) / np.mean(baseline)
+        assert result["reduction"] == pytest.approx(expected)
+
+    def test_compare_means_detects_significance(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(10, 1, 200)
+        treat = rng.normal(8, 1, 200)
+        result = compare_means(base, treat)
+        assert result["p_value"] < 0.001
+
+    def test_compare_means_empty_raises(self):
+        with pytest.raises(ConfigError):
+            compare_means([], [1.0])
+
+
+class TestPercentiles:
+    def test_exact_matches_numpy(self):
+        samples = np.random.default_rng(0).random(1000)
+        assert exact_percentile(samples, 99) == pytest.approx(
+            np.percentile(samples, 99)
+        )
+
+    def test_exact_validation(self):
+        with pytest.raises(ConfigError):
+            exact_percentile([1.0], 0)
+        with pytest.raises(ConfigError):
+            exact_percentile([], 50)
+
+    def test_profile(self):
+        samples = np.arange(1000, dtype=float)
+        profile = percentile_profile(samples, qs=(50, 99))
+        assert profile[50] == pytest.approx(499.5)
+
+    def test_p2_accuracy_on_uniform(self):
+        rng = np.random.default_rng(1)
+        estimator = P2Quantile(0.5)
+        samples = rng.random(20000)
+        for x in samples:
+            estimator.update(float(x))
+        assert estimator.value == pytest.approx(0.5, abs=0.02)
+
+    def test_p2_accuracy_on_exponential_p99(self):
+        rng = np.random.default_rng(2)
+        estimator = P2Quantile(0.99)
+        samples = rng.exponential(1.0, 50000)
+        for x in samples:
+            estimator.update(float(x))
+        assert estimator.value == pytest.approx(np.percentile(samples, 99), rel=0.1)
+
+    def test_p2_few_samples(self):
+        estimator = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            estimator.update(x)
+        assert estimator.value == 2.0
+
+    def test_p2_no_samples_raises(self):
+        with pytest.raises(ConfigError):
+            P2Quantile(0.5).value
+
+    def test_p2_validation(self):
+        with pytest.raises(ConfigError):
+            P2Quantile(0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=100, max_size=500))
+    @settings(max_examples=20, deadline=None)
+    def test_p2_stays_within_sample_range(self, samples):
+        estimator = P2Quantile(0.9)
+        for x in samples:
+            estimator.update(x)
+        assert min(samples) <= estimator.value <= max(samples)
+
+
+class TestWindowedSeries:
+    def test_window_means(self):
+        series = WindowedSeries(window=1.0)
+        series.add(0.5, 10.0)
+        series.add(0.6, 20.0)
+        series.add(1.5, 30.0)
+        data = series.series()
+        assert data[0] == (0.5, 15.0, 2)
+        assert data[1] == (1.5, 30.0, 1)
+
+    def test_max_mean(self):
+        series = WindowedSeries(window=1.0)
+        series.add(0.1, 1.0)
+        series.add(5.1, 9.0)
+        assert series.max_mean() == 9.0
+
+    def test_empty_max_mean_raises(self):
+        with pytest.raises(ConfigError):
+            WindowedSeries(1.0).max_mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WindowedSeries(0)
+        series = WindowedSeries(1.0)
+        with pytest.raises(ConfigError):
+            series.add(-1.0, 5.0)
+
+    def test_arrays(self):
+        series = WindowedSeries(window=2.0)
+        series.add(1.0, 4.0)
+        assert list(series.times()) == [1.0]
+        assert list(series.means()) == [4.0]
+        assert len(series) == 1

@@ -1,0 +1,131 @@
+"""Tests for the runtime load generator."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import LocalCluster
+from repro.runtime.loadgen import LoadGenerator
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.fanout import FixedFanout
+from repro.workload.popularity import UniformPopularity
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_cluster_and_keys(n_servers=2, n_keys=50):
+    cluster = LocalCluster(n_servers=n_servers, scheduler="das", byte_rate=None)
+    await cluster.start()
+    items = {f"key:{i:04d}": b"v" * 64 for i in range(n_keys)}
+    await cluster.preload(items)
+    return cluster, list(items)
+
+
+class TestLoadGenerator:
+    def test_fires_requested_count(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                gen = LoadGenerator(
+                    cluster.client, keys,
+                    arrivals=DeterministicArrivals(rate=500.0),
+                    fanout=FixedFanout(k=3),
+                    popularity=UniformPopularity(),
+                )
+                result = await gen.run(n_requests=40)
+                assert result.launched == 40
+                assert len(result.latencies) == 40
+                assert result.errors == 0
+                assert result.summary().mean > 0
+                assert result.throughput > 0
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_duration_bound(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                gen = LoadGenerator(
+                    cluster.client, keys,
+                    arrivals=DeterministicArrivals(rate=200.0),
+                    fanout=FixedFanout(k=2),
+                    popularity=UniformPopularity(),
+                )
+                result = await gen.run(duration=0.1)
+                # ~200/s for 0.1s: about 20 launches, bounded either side.
+                assert 10 <= result.launched <= 25
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_exactly_one_stopping_rule(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                gen = LoadGenerator(
+                    cluster.client, keys,
+                    arrivals=PoissonArrivals(rate=100.0),
+                    fanout=FixedFanout(k=1),
+                    popularity=UniformPopularity(),
+                )
+                with pytest.raises(ConfigError):
+                    await gen.run()
+                with pytest.raises(ConfigError):
+                    await gen.run(n_requests=5, duration=1.0)
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_validation(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys(n_keys=2)
+            try:
+                with pytest.raises(ConfigError, match="fanout"):
+                    LoadGenerator(
+                        cluster.client, keys,
+                        arrivals=PoissonArrivals(rate=10.0),
+                        fanout=FixedFanout(k=5),
+                        popularity=UniformPopularity(),
+                    )
+                with pytest.raises(ConfigError, match="empty"):
+                    LoadGenerator(
+                        cluster.client, [],
+                        arrivals=PoissonArrivals(rate=10.0),
+                        fanout=FixedFanout(k=1),
+                        popularity=UniformPopularity(),
+                    )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_deterministic_given_seed(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                def build():
+                    return LoadGenerator(
+                        cluster.client, keys,
+                        arrivals=PoissonArrivals(rate=1000.0),
+                        fanout=FixedFanout(k=2),
+                        popularity=UniformPopularity(),
+                        seed=9,
+                    )
+
+                a = build()
+                b = build()
+                # The samplers replay identically: same fan-outs and keys.
+                draws_a = [a._popularity.sample_distinct(2).tolist() for _ in range(5)]
+                draws_b = [b._popularity.sample_distinct(2).tolist() for _ in range(5)]
+                assert draws_a == draws_b
+            finally:
+                await cluster.stop()
+
+        run(scenario())

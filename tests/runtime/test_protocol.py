@@ -1,0 +1,132 @@
+"""Tests for the runtime wire protocol."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.protocol import (
+    MAX_MESSAGE_BYTES,
+    Message,
+    decode_value,
+    encode_value,
+    read_message,
+    write_message,
+)
+
+
+class TestMessage:
+    def test_roundtrip(self):
+        message = Message(type="get", id=7, fields={"key": "k", "tags": {"rpt": 1.5}})
+        decoded = Message.decode(message.encode()[4:])
+        assert decoded.type == "get"
+        assert decoded.id == 7
+        assert decoded.fields == {"key": "k", "tags": {"rpt": 1.5}}
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message(type="steal", id=1)
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message(type="get", id=-1)
+
+    def test_decode_bad_json(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            Message.decode(b"{broken")
+
+    def test_decode_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            Message.decode(b"[1, 2]")
+
+    def test_decode_missing_fields(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            Message.decode(b'{"type": "get"}')
+
+    def test_length_prefix(self):
+        raw = Message(type="get", id=1, fields={"key": "k"}).encode()
+        length = int.from_bytes(raw[:4], "big")
+        assert length == len(raw) - 4
+
+
+class TestValues:
+    def test_value_roundtrip(self):
+        payload = bytes(range(256))
+        assert decode_value(encode_value(payload)) == payload
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_value("!!! not base64 !!!")
+
+
+class TestStreamIO:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_write_then_read(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            message = Message(type="mget", id=3, fields={"keys": ["a", "b"]})
+            reader.feed_data(message.encode())
+            reader.feed_eof()
+            received = await read_message(reader)
+            assert received.type == "mget"
+            assert received.fields["keys"] == ["a", "b"]
+
+        self.run(scenario())
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            assert await read_message(reader) is None
+
+        self.run(scenario())
+
+    def test_mid_header_eof_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # truncated length prefix
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="mid-header"):
+                await read_message(reader)
+
+        self.run(scenario())
+
+    def test_mid_message_eof_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            raw = Message(type="get", id=1, fields={"key": "k"}).encode()
+            reader.feed_data(raw[:-2])  # drop the body's tail
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="mid-message"):
+                await read_message(reader)
+
+        self.run(scenario())
+
+    def test_oversized_declared_length_rejected(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data((MAX_MESSAGE_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="exceeds limit"):
+                await read_message(reader)
+
+        self.run(scenario())
+
+    def test_multiple_messages_in_sequence(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            for i in range(3):
+                reader.feed_data(
+                    Message(type="get", id=i, fields={"key": f"k{i}"}).encode()
+                )
+            reader.feed_eof()
+            ids = []
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    break
+                ids.append(message.id)
+            assert ids == [0, 1, 2]
+
+        self.run(scenario())

@@ -1,0 +1,150 @@
+"""Integration tests: real asyncio servers + client over loopback TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import LocalCluster
+from repro.runtime.client import RuntimeClient
+from repro.runtime.server import KVServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleServer:
+    def test_put_get_roundtrip(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            client = RuntimeClient([(server.host, server.port)])
+            await client.connect()
+            await client.put("greeting", b"hello world")
+            value = await client.get("greeting")
+            await client.close()
+            await server.stop()
+            assert value == b"hello world"
+
+        run(scenario())
+
+    def test_missing_key_returns_none(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            client = RuntimeClient([(server.host, server.port)])
+            await client.connect()
+            value = await client.get("ghost")
+            await client.close()
+            await server.stop()
+            assert value is None
+
+        run(scenario())
+
+    def test_overwrite(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            client = RuntimeClient([(server.host, server.port)])
+            await client.connect()
+            await client.put("k", b"v1")
+            await client.put("k", b"v2 is longer")
+            value = await client.get("k")
+            await client.close()
+            await server.stop()
+            assert value == b"v2 is longer"
+
+        run(scenario())
+
+    def test_binary_values_survive(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            client = RuntimeClient([(server.host, server.port)])
+            await client.connect()
+            payload = bytes(range(256)) * 4
+            await client.put("bin", payload)
+            value = await client.get("bin")
+            await client.close()
+            await server.stop()
+            assert value == payload
+
+        run(scenario())
+
+
+class TestCluster:
+    def test_multiget_spans_servers(self):
+        async def scenario():
+            async with LocalCluster(n_servers=4, scheduler="das", byte_rate=None) as cluster:
+                items = {f"key:{i:03d}": f"value-{i}".encode() for i in range(40)}
+                await cluster.preload(items)
+                values = await cluster.client.multiget(list(items))
+                assert values == items
+                # The keys really spread over multiple servers.
+                owners = {cluster.client.owner(k) for k in items}
+                assert len(owners) > 1
+
+        run(scenario())
+
+    def test_multiget_mixes_present_and_missing(self):
+        async def scenario():
+            async with LocalCluster(n_servers=2, scheduler="das", byte_rate=None) as cluster:
+                await cluster.client.put("present", b"yes")
+                values = await cluster.client.multiget(["present", "absent"])
+                assert values == {"present": b"yes", "absent": None}
+
+        run(scenario())
+
+    def test_empty_multiget(self):
+        async def scenario():
+            async with LocalCluster(n_servers=2, byte_rate=None) as cluster:
+                assert await cluster.client.multiget([]) == {}
+
+        run(scenario())
+
+    def test_feedback_populates_estimates(self):
+        async def scenario():
+            async with LocalCluster(n_servers=3, scheduler="das", byte_rate=None) as cluster:
+                await cluster.client.put("a", b"1")
+                await cluster.client.get("a")
+                assert cluster.client.estimates.feedback_count >= 2
+
+        run(scenario())
+
+    def test_concurrent_multigets(self):
+        async def scenario():
+            async with LocalCluster(n_servers=3, scheduler="das", byte_rate=None) as cluster:
+                items = {f"key:{i:03d}": b"x" * 64 for i in range(30)}
+                await cluster.preload(items)
+                keys = list(items)
+
+                async def one(i):
+                    subset = keys[i % 10 : i % 10 + 5]
+                    return await cluster.client.multiget(subset)
+
+                results = await asyncio.gather(*(one(i) for i in range(40)))
+                for i, result in enumerate(results):
+                    subset = keys[i % 10 : i % 10 + 5]
+                    assert all(result[k] == items[k] for k in subset)
+
+        run(scenario())
+
+    @pytest.mark.parametrize("scheduler", ["fcfs", "sbf", "das"])
+    def test_all_schedulers_serve_correctly(self, scheduler):
+        async def scenario():
+            async with LocalCluster(
+                n_servers=2, scheduler=scheduler, byte_rate=None
+            ) as cluster:
+                await cluster.client.put("k", b"v")
+                assert await cluster.client.get("k") == b"v"
+
+        run(scenario())
+
+    def test_ops_counted(self):
+        async def scenario():
+            async with LocalCluster(n_servers=2, byte_rate=None) as cluster:
+                await cluster.client.put("a", b"1")
+                await cluster.client.get("a")
+                assert cluster.total_ops_executed() == 2
+
+        run(scenario())

@@ -1,0 +1,135 @@
+"""Runtime server behaviour on malformed and edge-case requests."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.protocol import Message, read_message, write_message
+from repro.runtime.server import KVServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def raw_call(port: int, message: Message) -> Message:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        await write_message(writer, message)
+        return await read_message(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestServerErrorHandling:
+    def test_missing_field_reported_not_fatal(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            try:
+                reply = await raw_call(
+                    server.port, Message(type="get", id=1, fields={})
+                )
+                assert reply.type == "reply"
+                assert reply.fields["ok"] is False
+                assert "missing field" in reply.fields["error"]
+                # Server still alive for a valid request afterwards.
+                reply2 = await raw_call(
+                    server.port,
+                    Message(type="get", id=2, fields={"key": "ghost"}),
+                )
+                assert reply2.fields["ok"] is True
+                assert reply2.fields["values"]["ghost"] is None
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_bad_value_encoding_reported(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            try:
+                reply = await raw_call(
+                    server.port,
+                    Message(
+                        type="put",
+                        id=1,
+                        fields={"key": "k", "value": "!!!not-base64!!!"},
+                    ),
+                )
+                assert reply.fields["ok"] is False
+                assert "encoding" in reply.fields["error"]
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_garbage_bytes_close_connection_not_server(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # A length prefix promising more than the limit.
+                writer.write((2**31).to_bytes(4, "big"))
+                await writer.drain()
+                # The server drops this connection...
+                data = await reader.read()
+                assert data == b""
+                writer.close()
+                # ...but keeps serving new ones.
+                reply = await raw_call(
+                    server.port,
+                    Message(type="get", id=1, fields={"key": "x"}),
+                )
+                assert reply.type == "reply"
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_reply_always_carries_feedback(self):
+        async def scenario():
+            server = KVServer(scheduler="das", byte_rate=None)
+            await server.start()
+            try:
+                reply = await raw_call(
+                    server.port, Message(type="get", id=1, fields={"key": "a"})
+                )
+                feedback = reply.fields["feedback"]
+                assert {"queued_work", "queue_length", "rate_sample"} <= set(
+                    feedback
+                )
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_multiple_sequential_requests_same_connection(self):
+        async def scenario():
+            server = KVServer(scheduler="fcfs", byte_rate=None)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                for i in range(5):
+                    await write_message(
+                        writer,
+                        Message(type="get", id=i, fields={"key": f"k{i}"}),
+                    )
+                    reply = await read_message(reader)
+                    assert reply.id == i
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(scenario())

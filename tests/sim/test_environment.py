@@ -1,0 +1,124 @@
+"""Unit tests for the environment's run/step/peek machinery."""
+
+import pytest
+
+from repro.sim.core import EmptySchedule, Environment
+
+
+class TestRun:
+    def test_run_without_bound_drains_everything(self, env):
+        fired = []
+        for delay in (3, 1, 2):
+            t = env.timeout(delay)
+            t.callbacks.append(lambda e, d=delay: fired.append(d))
+        env.run()
+        assert fired == [1, 2, 3]
+        assert env.now == 3.0
+
+    def test_run_until_time_stops_clock_there(self, env):
+        env.timeout(10)
+        env.run(until=4)
+        assert env.now == 4.0
+
+    def test_run_until_time_excludes_later_events(self, env):
+        fired = []
+        t = env.timeout(5)
+        t.callbacks.append(lambda e: fired.append(env.now))
+        env.run(until=5)  # stop event sorts before the timeout at t=5
+        assert fired == []
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(1)
+        env.run(until=2)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_run_until_event_returns_its_value(self, env):
+        def proc():
+            yield env.timeout(2)
+            return "answer"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "answer"
+        assert env.now == 2.0
+
+    def test_run_until_already_processed_event(self, env):
+        event = env.event()
+        event.succeed("early")
+        env.run()
+        assert env.run(until=event) == "early"
+
+    def test_run_until_event_that_never_fires(self, env):
+        stuck = env.event()
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            env.run(until=stuck)
+
+    def test_run_until_failed_event_raises(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise KeyError("whoops")
+
+        p = env.process(proc())
+        with pytest.raises(KeyError):
+            env.run(until=p)
+
+    def test_run_on_empty_environment_is_noop(self, env):
+        env.run()
+        assert env.now == 0.0
+
+    def test_initial_time(self):
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+        t = env.timeout(5)
+        env.run()
+        assert env.now == 105.0
+
+
+class TestStepAndPeek:
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7)
+        env.timeout(3)
+        assert env.peek() == 3.0
+
+    def test_step_advances_one_event(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        env.step()
+        assert env.now == 1.0
+        env.step()
+        assert env.now == 2.0
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_urgent_events_precede_timeouts_at_same_instant(self, env):
+        order = []
+
+        def proc():
+            yield env.timeout(1)
+            order.append("timeout-done")
+
+        env.process(proc())
+        # An event succeeded at t=0 runs before the t=0 timeout below.
+        t0 = env.timeout(0)
+        t0.callbacks.append(lambda e: order.append("timeout-zero"))
+        ev = env.event()
+        ev.callbacks.append(lambda e: order.append("urgent"))
+        ev.succeed()
+        env.run()
+        assert order == ["urgent", "timeout-zero", "timeout-done"]
+
+    def test_run_until_idle_alias(self, env):
+        fired = []
+        env.timeout(1).callbacks.append(lambda e: fired.append(1))
+        env.run_until_idle()
+        assert fired == [1]
+
+    def test_repr_contains_time(self, env):
+        env.timeout(1)
+        assert "now=0" in repr(env)

@@ -1,0 +1,186 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(RuntimeError):
+            env.event().value
+
+    def test_ok_before_trigger_raises(self, env):
+        with pytest.raises(RuntimeError):
+            env.event().ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_default_value_is_none(self, env):
+        event = env.event()
+        event.succeed()
+        assert event.value is None
+
+    def test_double_succeed_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        event.defused = True
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_stores_exception(self, env):
+        event = env.event()
+        exc = ValueError("boom")
+        event.fail(exc)
+        event.defused = True
+        assert event.triggered
+        assert not event.ok
+        assert event.value is exc
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert event.processed
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        event = env.event()
+        event.fail(ValueError("unhandled"))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_repr_states(self, env):
+        event = env.event()
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "ok" in repr(event)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        times = []
+        t = env.timeout(2.5)
+        t.callbacks.append(lambda e: times.append(env.now))
+        env.run()
+        assert times == [2.5]
+
+    def test_carries_value(self, env):
+        t = env.timeout(1.0, value="payload")
+        env.run()
+        assert t.value == "payload"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_allowed(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert t.processed
+        assert env.now == 0.0
+
+    def test_delay_property(self, env):
+        assert env.timeout(3.25).delay == 3.25
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        a, b = env.event(), env.event()
+        cond = AllOf(env, [a, b])
+        a.succeed(1)
+        env.run()
+        assert not cond.triggered
+        b.succeed(2)
+        env.run()
+        assert cond.triggered
+        assert cond.value == {a: 1, b: 2}
+
+    def test_any_of_fires_on_first(self, env):
+        a, b = env.event(), env.event()
+        cond = AnyOf(env, [a, b])
+        a.succeed("first")
+        env.run()
+        assert cond.triggered
+        assert cond.value == {a: "first"}
+
+    def test_empty_all_of_succeeds_immediately(self, env):
+        cond = AllOf(env, [])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_empty_any_of_succeeds_immediately(self, env):
+        assert AnyOf(env, []).triggered
+
+    def test_all_of_failure_propagates(self, env):
+        a, b = env.event(), env.event()
+        cond = AllOf(env, [a, b])
+        a.fail(RuntimeError("part failed"))
+        # The condition fails too; with no waiter, run() surfaces it.
+        with pytest.raises(RuntimeError, match="part failed"):
+            env.run()
+        assert cond.triggered
+        assert not cond.ok
+
+    def test_all_of_failure_caught_by_waiting_process(self, env):
+        a, b = env.event(), env.event()
+        cond = AllOf(env, [a, b])
+
+        def waiter():
+            try:
+                yield cond
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = env.process(waiter())
+        a.fail(RuntimeError("part failed"))
+        env.run()
+        assert p.value == "part failed"
+
+    def test_all_of_with_preprocessed_events(self, env):
+        a = env.event()
+        a.succeed(7)
+        env.run()  # a fully processed
+        b = env.event()
+        cond = AllOf(env, [a, b])
+        b.succeed(8)
+        env.run()
+        assert cond.value == {a: 7, b: 8}
+
+    def test_condition_rejects_mixed_environments(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.event(), other.event()])
+
+    def test_env_helpers(self, env):
+        a, b = env.event(), env.event()
+        assert isinstance(env.all_of([a, b]), AllOf)
+        assert isinstance(env.any_of([a, b]), AnyOf)
+
+    def test_events_property_snapshot(self, env):
+        a, b = env.event(), env.event()
+        cond = AllOf(env, [a, b])
+        assert cond.events == [a, b]

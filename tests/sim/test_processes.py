@@ -1,0 +1,207 @@
+"""Unit tests for simulation processes (generators driven by the kernel)."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.events import Interrupt
+
+
+class TestProcessBasics:
+    def test_process_runs_to_completion(self, env):
+        log = []
+
+        def proc():
+            yield env.timeout(1)
+            log.append(env.now)
+            yield env.timeout(2)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "result"
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "result"
+
+    def test_process_is_alive_until_done(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run(until=2)
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_waiting_on_another_process(self, env):
+        def inner():
+            yield env.timeout(3)
+            return 99
+
+        def outer():
+            value = yield env.process(inner())
+            return value + 1
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 100
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_raises_inside_process(self, env):
+        def proc():
+            yield "not an event"
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+
+    def test_exception_in_process_fails_the_process_event(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("inside")
+
+        env.process(proc())
+        with pytest.raises(ValueError, match="inside"):
+            env.run()
+
+    def test_exception_caught_by_waiter(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("inner failure")
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter())
+        env.run()
+        assert p.value == "caught inner failure"
+
+    def test_process_waiting_on_failed_event(self, env):
+        event = env.event()
+
+        def proc():
+            try:
+                yield event
+            except RuntimeError:
+                return "handled"
+
+        p = env.process(proc())
+        event.fail(RuntimeError("event failed"))
+        env.run()
+        assert p.value == "handled"
+
+    def test_two_processes_interleave_deterministically(self, env):
+        log = []
+
+        def proc(name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+        env.process(proc("a", 1))
+        env.process(proc("b", 1))
+        env.run()
+        # Same-time events keep creation order: a before b at each tick.
+        assert log == [
+            (1.0, "a"), (1.0, "b"),
+            (2.0, "a"), (2.0, "b"),
+            (3.0, "a"), (3.0, "b"),
+        ]
+
+    def test_active_process_visible_during_execution(self, env):
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(0)
+
+        p = env.process(proc())
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return (interrupt.cause, env.now)
+
+        def attacker(victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt("stop now")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run(until=v)
+        assert v.value == ("stop now", 1.0)
+        # The abandoned timeout stays scheduled (as in SimPy); it fires
+        # harmlessly at t=100 if the simulation keeps running.
+        env.run()
+        assert env.now == pytest.approx(100.0)
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(5)
+            log.append(("done", env.now))
+
+        def attacker(victim_proc):
+            yield env.timeout(2)
+            victim_proc.interrupt()
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.run()
+        assert log == [("interrupted", 2.0), ("done", 7.0)]
+
+    def test_interrupting_terminated_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc():
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.process(proc())
+        with pytest.raises(RuntimeError, match="interrupt itself"):
+            env.run()
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(100)
+
+        def attacker(victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt("bye")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        with pytest.raises(Interrupt):
+            env.run()

@@ -1,0 +1,210 @@
+"""Unit tests for Store, PriorityStore, and Resource."""
+
+import pytest
+
+from repro.sim.queues import PriorityItem, PriorityStore, Resource, Store
+
+
+class TestStore:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer())
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [(5.0, "late")]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("first")
+            log.append(("put-first", env.now))
+            yield store.put("second")
+            log.append(("put-second", env.now))
+
+        def consumer():
+            yield env.timeout(3)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("put-first", 0.0) in log
+        assert ("put-second", 3.0) in log  # unblocked when "first" left
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+        assert store.items == [1, 2]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_multiple_getters_fifo_service(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1)
+            store.put("x")
+            store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        for value in (5, 1, 3):
+            store.put(value)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer())
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_priority_items_sort_by_key(self, env):
+        store = PriorityStore(env)
+        store.put(PriorityItem(2, "low"))
+        store.put(PriorityItem(1, "high"))
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item.payload)
+
+        env.process(consumer())
+        env.run()
+        assert got == ["high", "low"]
+
+    def test_items_property_sorted(self, env):
+        store = PriorityStore(env)
+        store.put(9)
+        store.put(4)
+        env.run()
+        assert store.items == [4, 9]
+        assert len(store) == 2
+
+
+class TestPriorityItem:
+    def test_ordering(self):
+        assert PriorityItem(1, "a") < PriorityItem(2, "b")
+
+    def test_equality_by_key(self):
+        assert PriorityItem(1, "a") == PriorityItem(1, "b")
+        assert PriorityItem(1, "a") != "not an item"
+
+    def test_repr(self):
+        assert "key=3" in repr(PriorityItem(3, None))
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+        assert res.queue_length == 1
+
+    def test_release_wakes_waiter(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r1)
+        assert r2.triggered
+        env.run()
+
+    def test_release_waiting_request_cancels_it(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel the queued request
+        assert res.queue_length == 0
+        res.release(r1)
+        env.run()
+
+    def test_double_release_raises(self, env):
+        res = Resource(env)
+        r = res.request()
+        res.release(r)
+        with pytest.raises(RuntimeError):
+            res.release(r)
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_request_release_convenience(self, env):
+        res = Resource(env)
+        r = res.request()
+        r.release()
+        assert res.count == 0
+
+    def test_usage_inside_processes(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            log.append((f"{name}-start", env.now))
+            yield env.timeout(hold)
+            res.release(req)
+            log.append((f"{name}-end", env.now))
+
+        env.process(worker("a", 2))
+        env.process(worker("b", 1))
+        env.run()
+        assert log == [
+            ("a-start", 0.0),
+            ("a-end", 2.0),
+            ("b-start", 2.0),
+            ("b-end", 3.0),
+        ]

@@ -1,0 +1,69 @@
+"""Unit tests for seeded random streams."""
+
+import pytest
+
+from repro.sim.rand import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_deterministic_across_instances(self):
+        a = RandomStreams(42).stream("arrivals").random(5)
+        b = RandomStreams(42).stream("arrivals").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_creation_order_does_not_matter(self):
+        first = RandomStreams(7)
+        first.stream("one")
+        value_a = first.stream("two").random()
+
+        second = RandomStreams(7)
+        value_b = second.stream("two").random()
+        assert value_a == value_b
+
+    def test_draw_count_on_one_stream_does_not_shift_another(self):
+        streams = RandomStreams(3)
+        streams.stream("noisy").random(1000)
+        value_a = streams.stream("quiet").random()
+
+        fresh = RandomStreams(3)
+        value_b = fresh.stream("quiet").random()
+        assert value_a == value_b
+
+    def test_spawn_creates_derived_family(self):
+        parent = RandomStreams(5)
+        child_a = parent.spawn("client-0")
+        child_b = parent.spawn("client-1")
+        assert child_a.root_seed != child_b.root_seed
+        # Spawns are deterministic too.
+        again = RandomStreams(5).spawn("client-0")
+        assert again.root_seed == child_a.root_seed
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(-1)
+
+    def test_names_listing(self):
+        streams = RandomStreams(0)
+        streams.stream("b")
+        streams.stream("a")
+        assert streams.names() == ["a", "b"]
+
+    def test_repr(self):
+        streams = RandomStreams(9)
+        streams.stream("x")
+        assert "root_seed=9" in repr(streams)

@@ -1,0 +1,43 @@
+"""Tests for named traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.patterns import TRAFFIC_PATTERNS, traffic_pattern
+
+
+class TestPatterns:
+    def test_lookup_known(self):
+        assert traffic_pattern("baseline").name == "baseline"
+
+    def test_lookup_unknown_lists_names(self):
+        with pytest.raises(WorkloadError, match="baseline"):
+            traffic_pattern("mystery")
+
+    @pytest.mark.parametrize("name", sorted(TRAFFIC_PATTERNS))
+    def test_every_pattern_builds_working_samplers(self, name, rng):
+        pattern = traffic_pattern(name)
+        fanout = pattern.fanout.build(rng)
+        sizes = pattern.sizes.build(rng)
+        popularity = pattern.popularity.build(1000, rng)
+        for _ in range(20):
+            n = fanout.sample()
+            assert 1 <= n <= pattern.fanout.max_fanout()
+            assert sizes.sample() >= 0
+            picks = popularity.sample_distinct(min(n, 10))
+            assert len(set(int(p) for p in picks)) == len(picks)
+
+    @pytest.mark.parametrize("name", sorted(TRAFFIC_PATTERNS))
+    def test_patterns_have_descriptions_and_means(self, name):
+        pattern = traffic_pattern(name)
+        assert pattern.description
+        assert pattern.fanout.mean() >= 1.0
+        assert pattern.sizes.mean() > 0
+
+    def test_single_get_pattern_is_fanout_one(self):
+        assert traffic_pattern("single-get").fanout.mean() == 1.0
+
+    def test_bimodal_pattern_mixes_sizes(self):
+        pattern = traffic_pattern("bimodal")
+        assert pattern.fanout.max_fanout() == 32

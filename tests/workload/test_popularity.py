@@ -1,0 +1,100 @@
+"""Tests for key popularity distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.popularity import (
+    HotspotPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+
+
+class TestUniform:
+    def test_coverage(self, rng):
+        sampler = UniformPopularity().build(100, rng)
+        seen = {sampler.sample_one() for _ in range(5000)}
+        assert len(seen) > 95
+
+    def test_distinct_sampling(self, rng):
+        sampler = UniformPopularity().build(50, rng)
+        picks = sampler.sample_distinct(50)
+        assert sorted(picks) == list(range(50))
+
+    def test_too_many_distinct_rejected(self, rng):
+        sampler = UniformPopularity().build(10, rng)
+        with pytest.raises(WorkloadError):
+            sampler.sample_distinct(11)
+
+
+class TestZipf:
+    def test_skew_concentrates_mass(self, rng):
+        sampler = ZipfPopularity(s=0.99, shuffle=False).build(1000, rng)
+        draws = np.array([sampler.sample_one() for _ in range(20000)])
+        top_fraction = np.mean(draws < 10)  # 10 hottest ranks
+        assert top_fraction > 0.3  # heavy concentration vs 1% for uniform
+
+    def test_zero_exponent_is_uniform(self, rng):
+        sampler = ZipfPopularity(s=0.0, shuffle=False).build(100, rng)
+        draws = np.array([sampler.sample_one() for _ in range(20000)])
+        top_fraction = np.mean(draws < 10)
+        assert top_fraction == pytest.approx(0.1, abs=0.02)
+
+    def test_shuffle_spreads_hot_ranks(self, rng):
+        plain = ZipfPopularity(s=1.2, shuffle=False).build(1000, rng)
+        hot_plain = plain.sample_one()
+        # With shuffle, rank 0 maps to an arbitrary index; sampling still
+        # works and stays in range.
+        shuffled = ZipfPopularity(s=1.2, shuffle=True).build(
+            1000, np.random.default_rng(0)
+        )
+        assert 0 <= shuffled.sample_one() < 1000
+        assert 0 <= hot_plain < 1000
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfPopularity(s=-0.1)
+
+    def test_distinct_under_skew(self, rng):
+        sampler = ZipfPopularity(s=1.5).build(100, rng)
+        picks = sampler.sample_distinct(20)
+        assert len(set(picks)) == 20
+
+
+class TestHotspot:
+    def test_hot_region_receives_hot_probability(self):
+        rng = np.random.default_rng(5)
+        spec = HotspotPopularity(hot_fraction=0.1, hot_probability=0.9)
+        sampler = spec.build(1000, rng)
+        hot_indices = set(sampler._perm[:100])
+        draws = [sampler.sample_one() for _ in range(20000)]
+        hot_hits = sum(1 for d in draws if d in hot_indices)
+        assert hot_hits / len(draws) == pytest.approx(0.9, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            HotspotPopularity(hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            HotspotPopularity(hot_probability=1.0)
+
+    def test_tiny_keyspace_rejected_when_hot_covers_all(self, rng):
+        with pytest.raises(WorkloadError):
+            HotspotPopularity(hot_fraction=0.99).build(1, rng)
+
+
+@given(
+    keyspace=st.integers(10, 500),
+    n=st.integers(1, 10),
+    s=st.floats(min_value=0.0, max_value=2.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_distinct_samples_are_distinct_and_in_range(keyspace, n, s, seed):
+    rng = np.random.default_rng(seed)
+    sampler = ZipfPopularity(s=s).build(keyspace, rng)
+    picks = sampler.sample_distinct(n)
+    assert len(set(int(p) for p in picks)) == n
+    assert all(0 <= p < keyspace for p in picks)

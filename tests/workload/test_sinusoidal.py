@@ -1,0 +1,76 @@
+"""Tests for the sinusoidal (diurnal) arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import SinusoidalArrivals
+
+
+class TestSinusoidalArrivals:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SinusoidalArrivals(base_rate=0)
+        with pytest.raises(WorkloadError):
+            SinusoidalArrivals(base_rate=10, amplitude=1.0)
+        with pytest.raises(WorkloadError):
+            SinusoidalArrivals(base_rate=10, period=0)
+
+    def test_mean_rate_is_base_rate(self):
+        assert SinusoidalArrivals(base_rate=500.0).mean_rate() == 500.0
+
+    def test_scaled(self):
+        spec = SinusoidalArrivals(base_rate=100.0, amplitude=0.3, period=5.0)
+        scaled = spec.scaled(2.0)
+        assert scaled.base_rate == 200.0
+        assert scaled.amplitude == 0.3
+        assert scaled.period == 5.0
+
+    def test_long_run_rate_matches_base(self, rng):
+        spec = SinusoidalArrivals(base_rate=1000.0, amplitude=0.8, period=1.0)
+        sampler = spec.build(rng)
+        t = 0.0
+        n = 20000
+        for _ in range(n):
+            t += sampler.next_interarrival(t)
+        assert n / t == pytest.approx(1000.0, rel=0.05)
+
+    def test_rate_oscillates_within_period(self, rng):
+        """Arrivals concentrate in the sine's crest and thin in its trough."""
+        spec = SinusoidalArrivals(base_rate=2000.0, amplitude=0.9, period=1.0)
+        sampler = spec.build(rng)
+        t = 0.0
+        crest = trough = 0
+        for _ in range(40000):
+            t += sampler.next_interarrival(t)
+            phase = (t % 1.0)
+            if 0.0 <= phase < 0.5:
+                crest += 1  # sin positive on the first half period
+            else:
+                trough += 1
+        assert crest > trough * 1.5
+
+    def test_zero_amplitude_is_plain_poisson(self, rng):
+        spec = SinusoidalArrivals(base_rate=500.0, amplitude=0.0, period=1.0)
+        sampler = spec.build(rng)
+        gaps = []
+        t = 0.0
+        for _ in range(20000):
+            gap = sampler.next_interarrival(t)
+            gaps.append(gap)
+            t += gap
+        gaps = np.asarray(gaps)
+        assert gaps.mean() == pytest.approx(1 / 500.0, rel=0.05)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_usable_in_cluster(self):
+        from repro.kvstore.cluster import run_cluster
+        from repro.kvstore.config import SimulationConfig
+
+        from tests.conftest import small_config
+
+        config = small_config(
+            arrivals=SinusoidalArrivals(base_rate=3000.0, amplitude=0.6, period=0.2)
+        )
+        result = run_cluster(config, SimulationConfig(max_requests=300))
+        assert result.requests_completed == 300

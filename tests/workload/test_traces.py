@@ -1,0 +1,90 @@
+"""Tests for trace serialization."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.traces import TraceRecord, load_trace, read_trace, write_trace
+
+
+def sample_records():
+    return [
+        TraceRecord(t=0.0, keys=["a", "b"], sizes=[10, 20]),
+        TraceRecord(t=1.5, keys=["c"], sizes=[30], is_put=[True]),
+        TraceRecord(t=1.5, keys=["d"], sizes=[40]),
+    ]
+
+
+class TestRecord:
+    def test_defaults_is_put_to_false(self):
+        record = TraceRecord(t=0.0, keys=["a"], sizes=[1])
+        assert record.is_put == [False]
+
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(t=-1.0, keys=["a"], sizes=[1])
+        with pytest.raises(TraceFormatError):
+            TraceRecord(t=0.0, keys=["a"], sizes=[1, 2])
+        with pytest.raises(TraceFormatError):
+            TraceRecord(t=0.0, keys=[], sizes=[])
+        with pytest.raises(TraceFormatError):
+            TraceRecord(t=0.0, keys=["a"], sizes=[1], is_put=[True, False])
+
+    def test_json_roundtrip(self):
+        record = TraceRecord(t=2.5, keys=["x"], sizes=[99], is_put=[True])
+        parsed = TraceRecord.from_json(record.to_json())
+        assert parsed == record
+
+    def test_from_json_errors(self):
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            TraceRecord.from_json("{broken", lineno=3)
+        with pytest.raises(TraceFormatError, match="must be an object"):
+            TraceRecord.from_json("[1,2]")
+        with pytest.raises(TraceFormatError, match="missing field"):
+            TraceRecord.from_json('{"t": 1.0, "keys": ["a"]}')
+        with pytest.raises(TraceFormatError, match="bad field value"):
+            TraceRecord.from_json('{"t": 1.0, "keys": ["a"], "sizes": ["xx"]}')
+
+
+class TestFileRoundtrip:
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(path, sample_records())
+        assert count == 3
+        loaded = load_trace(path)
+        assert loaded == sample_records()
+
+    def test_read_is_lazy(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, sample_records())
+        iterator = read_trace(path)
+        first = next(iterator)
+        assert first.keys == ["a", "b"]
+
+    def test_write_rejects_out_of_order(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [
+            TraceRecord(t=2.0, keys=["a"], sizes=[1]),
+            TraceRecord(t=1.0, keys=["b"], sizes=[1]),
+        ]
+        with pytest.raises(TraceFormatError, match="out of order"):
+            write_trace(path, records)
+
+    def test_read_rejects_out_of_order(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t":2.0,"keys":["a"],"sizes":[1]}\n'
+            '{"t":1.0,"keys":["b"],"sizes":[1]}\n'
+        )
+        with pytest.raises(TraceFormatError, match="non-decreasing"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t":1.0,"keys":["a"],"sizes":[1]}\n\n')
+        assert len(load_trace(path)) == 1
+
+    def test_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t":1.0,"keys":["a"],"sizes":[1]}\nnot json\n')
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace(path)
