@@ -9,7 +9,7 @@ simulated cluster the harness can drive.
 import numpy as np
 
 from repro.core.adaptive import AdaptiveThreshold
-from repro.core.das import DasQueue, TAG_RPT
+from repro.core.das import TAG_RPT
 from repro.kvstore.items import OpKind, Operation, Request
 from repro.kvstore.partitioning import ConsistentHashRing
 from repro.kvstore.storage import StorageEngine

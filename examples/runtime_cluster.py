@@ -12,6 +12,7 @@ Run:  python examples/runtime_cluster.py
 """
 
 import asyncio
+import gc
 import statistics
 import time
 
@@ -68,6 +69,10 @@ async def main() -> None:
         f"racing one {GIANT_KEYS}-key giant\n"
     )
     for scheduler in ("fcfs", "das"):
+        # Measure each scheduler from a clean GC state: otherwise the first
+        # run's surviving allocations can push a full collection into the
+        # second run's window and skew the comparison by tens of ms.
+        gc.collect()
         stats = await run_mix(scheduler)
         print(
             f"  {scheduler:>5}: small mean {stats['small_mean'] * 1e3:7.1f}ms  "

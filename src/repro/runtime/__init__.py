@@ -8,27 +8,64 @@ point being that simulation results carry over to a runnable system.
 * :mod:`repro.runtime.scheduling` — the scheduled executor wrapping a
   :class:`~repro.schedulers.base.ServerQueue`;
 * :mod:`repro.runtime.server` — the TCP key-value server;
-* :mod:`repro.runtime.client` — the multiget client with DAS tagging;
+* :mod:`repro.runtime.client` — the multiget client with DAS tagging,
+  retries/backoff, hedging, and per-server circuit breakers;
+* :mod:`repro.runtime.faults` — scripted fault injection (outages,
+  dropped/delayed replies, refused connections) for chaos testing;
+* :mod:`repro.runtime.resilience` — retry/hedge/breaker policies and
+  the partial-multiget report;
 * :mod:`repro.runtime.cluster` — in-process cluster harness for demos
-  and integration tests.
+  and integration tests, with chaos controls (inject/crash/restart).
 """
 
 from repro.runtime.client import RuntimeClient
-from repro.runtime.loadgen import LoadGenerator, LoadgenResult
 from repro.runtime.cluster import LocalCluster
+from repro.runtime.faults import (
+    DelayReplies,
+    Disconnect,
+    DropReplies,
+    FaultInjector,
+    FaultPolicy,
+    Outage,
+    RefuseConnections,
+)
+from repro.runtime.loadgen import LoadGenerator, LoadgenResult
 from repro.runtime.protocol import Message, read_message, write_message
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    HedgePolicy,
+    MultigetReport,
+    OperationTimeoutError,
+    RetryPolicy,
+    ServerUnavailableError,
+)
 from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
 from repro.runtime.server import KVServer
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DelayReplies",
+    "Disconnect",
+    "DropReplies",
+    "FaultInjector",
+    "FaultPolicy",
+    "HedgePolicy",
     "KVServer",
     "LoadGenerator",
     "LoadgenResult",
     "LocalCluster",
     "Message",
+    "MultigetReport",
+    "OperationTimeoutError",
+    "Outage",
     "QueuedOp",
+    "RefuseConnections",
+    "RetryPolicy",
     "RuntimeClient",
     "ScheduledExecutor",
+    "ServerUnavailableError",
     "read_message",
     "write_message",
 ]

@@ -5,15 +5,28 @@ ring the simulator uses, stamps scheduler tags computed from client-local
 estimates (fed by feedback piggybacked on every reply), and gathers the
 fanned-out sub-requests — a faithful runtime twin of the simulated
 front-end.
+
+Fault tolerance is opt-in through :class:`~repro.runtime.resilience`
+policies: a :class:`RetryPolicy` arms per-attempt timeouts with
+exponential backoff, a :class:`HedgePolicy` duplicates slow idempotent
+reads onto a secondary connection, and a per-server circuit breaker fails
+fast on repeatedly dead servers while feeding the unhealthiness into
+:class:`ServerEstimates` so DAS tags route around them.  Dead connections
+are replaced automatically on the next use; ``multiget(..., partial=True)``
+degrades gracefully, returning what it could fetch plus a
+:class:`MultigetReport`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.estimator import ServerEstimates
 from repro.errors import ProtocolError
@@ -26,9 +39,26 @@ from repro.runtime.protocol import (
     read_message,
     write_message,
 )
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    HedgePolicy,
+    LatencyTracker,
+    MultigetReport,
+    OperationTimeoutError,
+    RetryPolicy,
+    ServerUnavailableError,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Assumed value size for keys never seen before (bytes).
 DEFAULT_SIZE_GUESS = 1024
+
+#: Synthetic feedback pushed when a breaker opens: the server looks like a
+#: minute of queued work at a crawl, so DAS tags steer giants elsewhere.
+UNHEALTHY_QUEUED_WORK = 60.0
+UNHEALTHY_RATE_SAMPLE = 1e-3
 
 
 @dataclass
@@ -41,10 +71,29 @@ class _Connection:
     pending: Dict[int, asyncio.Future]
     reader_task: Optional[asyncio.Task] = None
     write_lock: Optional[asyncio.Lock] = None
+    closed: bool = False
 
 
 class RuntimeClient:
-    """Client issuing gets/puts/multigets against a set of KV servers."""
+    """Client issuing gets/puts/multigets against a set of KV servers.
+
+    Parameters
+    ----------
+    endpoints:
+        ``(host, port)`` per server; index order defines server ids.
+    retry_policy:
+        When set, every sub-request gets per-attempt timeouts, bounded
+        retries with backoff, and a per-server circuit breaker.  When
+        None (default) the client is "unprotected": it waits forever,
+        exactly as the pre-fault-tolerance client did.
+    hedge_policy:
+        When set (requires ``retry_policy``), slow idempotent reads are
+        duplicated onto a secondary connection; first reply wins.
+    breaker_failure_threshold / breaker_reset_timeout:
+        Circuit-breaker tuning (only used with ``retry_policy``).
+    seed:
+        Seed for backoff jitter, making retry timing reproducible.
+    """
 
     def __init__(
         self,
@@ -52,64 +101,135 @@ class RuntimeClient:
         byte_rate_hint: float = 100e6,
         per_op_overhead_hint: float = 50e-6,
         estimator: Optional[ServerEstimates] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 0.5,
+        seed: int = 0,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
+        if hedge_policy is not None and retry_policy is None:
+            raise ValueError("hedge_policy requires retry_policy")
         self.endpoints = list(endpoints)
         self.ring = ConsistentHashRing(range(len(endpoints)))
         self.estimates = estimator if estimator is not None else ServerEstimates()
         self.byte_rate_hint = byte_rate_hint
         self.per_op_overhead_hint = per_op_overhead_hint
+        self.retry_policy = retry_policy
+        self.hedge_policy = hedge_policy
+        self._rng = np.random.default_rng(seed)
         self._size_cache: Dict[str, int] = {}
         self._connections: Dict[int, _Connection] = {}
+        self._hedge_connections: Dict[int, _Connection] = {}
+        self._connect_locks: Dict[Tuple[int, bool], asyncio.Lock] = {}
+        self._ever_connected: set = set()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_reset_timeout = breaker_reset_timeout
+        self._latency = LatencyTracker()
         self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "retries": 0,
+            "timeouts": 0,
+            "connection_errors": 0,
+            "reconnects": 0,
+            "hedges_sent": 0,
+            "hedges_won": 0,
+            "hedges_lost": 0,
+            "breaker_opens": 0,
+            "breaker_rejections": 0,
+            "partial_multigets": 0,
+        }
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
     async def connect(self) -> None:
-        for server_id, (host, port) in enumerate(self.endpoints):
-            reader, writer = await asyncio.open_connection(host, port)
-            conn = _Connection(
-                server_id=server_id,
-                reader=reader,
-                writer=writer,
-                pending={},
-                write_lock=asyncio.Lock(),
-            )
-            conn.reader_task = asyncio.create_task(
-                self._read_loop(conn), name=f"kv-client-reader-{server_id}"
-            )
-            self._connections[server_id] = conn
+        for server_id in range(len(self.endpoints)):
+            await self._open_connection(server_id, hedge=False)
+
+    async def _open_connection(self, server_id: int, hedge: bool) -> _Connection:
+        host, port = self.endpoints[server_id]
+        reader, writer = await asyncio.open_connection(host, port)
+        role = "hedge" if hedge else "main"
+        conn = _Connection(
+            server_id=server_id,
+            reader=reader,
+            writer=writer,
+            pending={},
+            write_lock=asyncio.Lock(),
+        )
+        conn.reader_task = asyncio.create_task(
+            self._read_loop(conn), name=f"kv-client-reader-{role}-{server_id}"
+        )
+        pool = self._hedge_connections if hedge else self._connections
+        pool[server_id] = conn
+        if (server_id, hedge) in self._ever_connected:
+            self.counters["reconnects"] += 1
+        self._ever_connected.add((server_id, hedge))
+        return conn
+
+    async def _ensure_connection(self, server_id: int, hedge: bool = False) -> _Connection:
+        """Live connection to ``server_id``, replacing a dead one if needed."""
+        pool = self._hedge_connections if hedge else self._connections
+        conn = pool.get(server_id)
+        if conn is not None and not conn.closed:
+            return conn
+        lock = self._connect_locks.setdefault((server_id, hedge), asyncio.Lock())
+        async with lock:
+            conn = pool.get(server_id)  # someone may have won the race
+            if conn is not None and not conn.closed:
+                return conn
+            return await self._open_connection(server_id, hedge)
+
+    def _fail_connection(self, conn: _Connection, exc: BaseException) -> None:
+        """Mark ``conn`` dead and fail its in-flight futures fast."""
+        conn.closed = True
+        for fut in conn.pending.values():
+            if not fut.done():
+                fut.set_exception(
+                    ConnectionError(f"connection to server {conn.server_id} lost: {exc}")
+                )
+        conn.pending.clear()
+        conn.writer.close()
 
     async def close(self) -> None:
-        for conn in self._connections.values():
+        for conn in list(self._connections.values()) + list(
+            self._hedge_connections.values()
+        ):
             if conn.reader_task is not None:
                 conn.reader_task.cancel()
                 try:
                     await conn.reader_task
-                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                except asyncio.CancelledError:
                     pass
+                except Exception:  # noqa: BLE001 - teardown must not mask bugs silently
+                    logger.exception(
+                        "reader task for server %d raised during close", conn.server_id
+                    )
             conn.writer.close()
             try:
                 await conn.writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
         self._connections.clear()
+        self._hedge_connections.clear()
 
     async def _read_loop(self, conn: _Connection) -> None:
-        while True:
-            message = await read_message(conn.reader)
-            if message is None:
-                for fut in conn.pending.values():
-                    if not fut.done():
-                        fut.set_exception(ConnectionError("server closed connection"))
-                conn.pending.clear()
-                return
-            self._absorb_feedback(conn.server_id, message)
-            fut = conn.pending.pop(message.id, None)
-            if fut is not None and not fut.done():
-                fut.set_result(message)
+        try:
+            while True:
+                message = await read_message(conn.reader)
+                if message is None:
+                    raise ConnectionError("server closed connection")
+                self._absorb_feedback(conn.server_id, message)
+                fut = conn.pending.pop(message.id, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any wire error kills the connection
+            self._fail_connection(conn, exc)
 
     def _absorb_feedback(self, server_id: int, message: Message) -> None:
         feedback = message.fields.get("feedback")
@@ -125,15 +245,160 @@ class RuntimeClient:
             )
         )
 
-    async def _call(self, server_id: int, message: Message) -> Message:
-        conn = self._connections.get(server_id)
-        if conn is None:
-            raise RuntimeError("client not connected")
+    # ------------------------------------------------------------------
+    # Resilient call machinery
+    # ------------------------------------------------------------------
+    def _breaker(self, server_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(server_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_failure_threshold,
+                reset_timeout=self._breaker_reset_timeout,
+            )
+            self._breakers[server_id] = breaker
+        return breaker
+
+    def _mark_unhealthy(self, server_id: int) -> None:
+        """Feed breaker-open into the estimates so DAS routes around it."""
+        self.counters["breaker_opens"] += 1
+        self.estimates.observe(
+            Feedback(
+                server_id=server_id,
+                queued_work=UNHEALTHY_QUEUED_WORK,
+                queue_length=10**6,
+                rate_sample=UNHEALTHY_RATE_SAMPLE,
+                timestamp=time.monotonic(),
+            )
+        )
+
+    async def _attempt(
+        self,
+        server_id: int,
+        mtype: str,
+        fields: Dict,
+        timeout: Optional[float],
+        hedge: bool = False,
+    ) -> Message:
+        """One send/await round-trip over one connection."""
+        conn = await self._ensure_connection(server_id, hedge=hedge)
+        message = Message(type=mtype, id=next(self._ids), fields=fields)
         fut = asyncio.get_running_loop().create_future()
         conn.pending[message.id] = fut
-        async with conn.write_lock:
-            await write_message(conn.writer, message)
-        return await fut
+        try:
+            async with conn.write_lock:
+                await write_message(conn.writer, message)
+        except BaseException:
+            # The write failed (or was cancelled): the reply can never
+            # arrive, so drop the correlation entry instead of leaking it.
+            conn.pending.pop(message.id, None)
+            raise
+        sent_at = time.monotonic()
+        try:
+            if timeout is None:
+                reply = await fut
+            else:
+                reply = await asyncio.wait_for(fut, timeout)
+        finally:
+            conn.pending.pop(message.id, None)
+        self._latency.record(time.monotonic() - sent_at)
+        return reply
+
+    async def _attempt_maybe_hedged(
+        self, server_id: int, mtype: str, fields: Dict, timeout: Optional[float]
+    ) -> Message:
+        """One attempt, duplicated onto a hedge connection if it runs slow."""
+        policy = self.hedge_policy
+        threshold = policy.threshold(self._latency) if policy is not None else None
+        primary = asyncio.create_task(
+            self._attempt(server_id, mtype, fields, timeout)
+        )
+        if threshold is None or (timeout is not None and threshold >= timeout):
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=threshold)
+        if primary in done:
+            return primary.result()
+        self.counters["hedges_sent"] += 1
+        hedge = asyncio.create_task(
+            self._attempt(server_id, mtype, fields, timeout, hedge=True)
+        )
+        tasks = {primary, hedge}
+        last_exc: Optional[BaseException] = None
+        while tasks:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+            winner = next((t for t in done if t.exception() is None), None)
+            if winner is not None:
+                for loser in tasks:
+                    loser.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                self.counters[
+                    "hedges_won" if winner is hedge else "hedges_lost"
+                ] += 1
+                return winner.result()
+            last_exc = next(iter(done)).exception()
+        assert last_exc is not None
+        raise last_exc
+
+    async def _call(
+        self, server_id: int, mtype: str, fields: Dict, idempotent: bool = False
+    ) -> Message:
+        """Send one request with whatever protection is configured.
+
+        Without a retry policy this awaits the reply indefinitely (legacy
+        behaviour).  With one, each attempt is bounded by ``op_timeout``,
+        failures back off exponentially with jitter, the whole operation
+        respects ``total_deadline``, and a per-server circuit breaker
+        converts a dead server into fast :class:`CircuitOpenError`
+        rejections.  Hedging applies to idempotent reads only.
+        """
+        policy = self.retry_policy
+        hedged = idempotent and self.hedge_policy is not None
+        if policy is None:
+            return await self._attempt(server_id, mtype, fields, None)
+        breaker = self._breaker(server_id)
+        started = time.monotonic()
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if not breaker.allow():
+                self.counters["breaker_rejections"] += 1
+                raise CircuitOpenError(server_id)
+            if attempt > 1:
+                self.counters["retries"] += 1
+                pause = policy.backoff(attempt, self._rng)
+                if pause > 0:
+                    await asyncio.sleep(pause)
+            timeout = policy.op_timeout
+            if policy.total_deadline is not None:
+                remaining = policy.total_deadline - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise OperationTimeoutError(
+                        server_id, f"deadline budget spent after {attempt - 1} attempts"
+                    )
+                timeout = min(timeout, remaining)
+            try:
+                if hedged:
+                    reply = await self._attempt_maybe_hedged(
+                        server_id, mtype, fields, timeout
+                    )
+                else:
+                    reply = await self._attempt(server_id, mtype, fields, timeout)
+            except asyncio.TimeoutError as exc:
+                self.counters["timeouts"] += 1
+                last_exc = exc
+            except (ConnectionError, OSError) as exc:
+                self.counters["connection_errors"] += 1
+                last_exc = exc
+            else:
+                breaker.record_success()
+                return reply
+            if breaker.record_failure():
+                self._mark_unhealthy(server_id)
+        if isinstance(last_exc, asyncio.TimeoutError):
+            raise OperationTimeoutError(
+                server_id, f"all {policy.max_attempts} attempts timed out"
+            ) from last_exc
+        raise ServerUnavailableError(server_id, str(last_exc)) from last_exc
 
     # ------------------------------------------------------------------
     # Tagging (the distributed half of DAS)
@@ -172,11 +437,8 @@ class RuntimeClient:
         tags = self._tags_for({server_id: [key]})
         reply = await self._call(
             server_id,
-            Message(
-                type="put",
-                id=next(self._ids),
-                fields={"key": key, "value": encode_value(value), "tags": tags},
-            ),
+            "put",
+            {"key": key, "value": encode_value(value), "tags": tags},
         )
         if not reply.fields.get("ok"):
             raise ProtocolError(f"put failed: {reply.fields.get('error')}")
@@ -186,46 +448,80 @@ class RuntimeClient:
         values = await self.multiget([key])
         return values[key]
 
-    async def multiget(self, keys: Sequence[str]) -> Dict[str, Optional[bytes]]:
+    async def _fetch(
+        self, server_id: int, server_keys: List[str], tags: Dict[str, float]
+    ) -> Dict[str, Optional[bytes]]:
+        reply = await self._call(
+            server_id,
+            "mget",
+            {"keys": server_keys, "tags": tags},
+            idempotent=True,
+        )
+        if not reply.fields.get("ok"):
+            raise ProtocolError(f"mget failed: {reply.fields.get('error')}")
+        out: Dict[str, Optional[bytes]] = {}
+        for key, encoded in reply.fields.get("values", {}).items():
+            value = decode_value(encoded) if encoded is not None else None
+            out[key] = value
+            if value is not None:
+                self._size_cache[key] = len(value)
+        return out
+
+    async def multiget(
+        self, keys: Sequence[str], partial: bool = False
+    ):
         """Fetch many keys in parallel across their owner servers.
 
-        Returns a key -> value mapping with None for missing keys.  The
-        request's completion time is governed by its slowest sub-request —
-        the quantity DAS's tags are computed to minimize.
+        With ``partial=False`` (default) returns a key -> value mapping
+        with None for missing keys, raising if any sub-request ultimately
+        fails.  With ``partial=True`` returns ``(values, report)``:
+        ``values`` holds exactly the keys whose owner servers answered,
+        and the :class:`MultigetReport` names the servers (and their
+        keys) that did not.  The request's completion time is governed by
+        its slowest sub-request — the quantity DAS's tags are computed to
+        minimize.
         """
         if not keys:
-            return {}
+            return ({}, MultigetReport()) if partial else {}
         by_server: Dict[int, List[str]] = {}
         for key in keys:
             by_server.setdefault(self.owner(key), []).append(key)
         tags = self._tags_for(by_server)
-
-        async def fetch(server_id: int, server_keys: List[str]) -> Dict[str, Optional[bytes]]:
-            reply = await self._call(
-                server_id,
-                Message(
-                    type="mget",
-                    id=next(self._ids),
-                    fields={"keys": server_keys, "tags": tags},
-                ),
-            )
-            if not reply.fields.get("ok"):
-                raise ProtocolError(f"mget failed: {reply.fields.get('error')}")
-            out: Dict[str, Optional[bytes]] = {}
-            for key, encoded in reply.fields.get("values", {}).items():
-                value = decode_value(encoded) if encoded is not None else None
-                out[key] = value
-                if value is not None:
-                    self._size_cache[key] = len(value)
-            return out
+        server_ids = list(by_server)
+        retries_before = self.counters["retries"]
+        hedges_before = self.counters["hedges_sent"]
 
         results = await asyncio.gather(
-            *(fetch(sid, ks) for sid, ks in by_server.items())
+            *(self._fetch(sid, by_server[sid], tags) for sid in server_ids),
+            return_exceptions=partial,
         )
         merged: Dict[str, Optional[bytes]] = {}
-        for chunk in results:
+        report = MultigetReport(requested=len(keys))
+        for server_id, chunk in zip(server_ids, results):
+            if isinstance(chunk, BaseException):
+                report.failed_servers[server_id] = str(chunk)
+                report.missing_keys.extend(by_server[server_id])
+                continue
             merged.update(chunk)
-        # Preserve the caller's key set even if a server omitted entries.
-        for key in keys:
-            merged.setdefault(key, None)
-        return merged
+            # Preserve the slice's key set even if the server omitted entries.
+            for key in by_server[server_id]:
+                merged.setdefault(key, None)
+        if not partial:
+            return merged
+        report.fetched = len(merged)
+        report.retries = self.counters["retries"] - retries_before
+        report.hedges = self.counters["hedges_sent"] - hedges_before
+        if not report.complete:
+            self.counters["partial_multigets"] += 1
+        return merged, report
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: retries, timeouts, reconnects, hedges, ..."""
+        snapshot = dict(self.counters)
+        snapshot["breakers_open"] = sum(
+            1 for b in self._breakers.values() if b.state == CircuitBreaker.OPEN
+        )
+        return snapshot

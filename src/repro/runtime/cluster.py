@@ -5,14 +5,22 @@ For demos and integration tests::
     async with LocalCluster(n_servers=4, scheduler="das") as cluster:
         await cluster.client.put("k", b"v")
         values = await cluster.client.multiget(["k"])
+
+Chaos scripting rides on the same harness: ``cluster.inject(0,
+Outage(0.0, 1.5))`` makes server 0 go dark, ``cluster.crash(0)`` /
+``cluster.restart(0)`` model a hard process death and recovery, and
+``cluster.new_client(retry_policy=...)`` attaches extra clients (e.g. a
+protected and an unprotected one side by side).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.runtime.client import RuntimeClient
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.resilience import HedgePolicy, RetryPolicy
 from repro.runtime.server import KVServer
 
 
@@ -26,6 +34,8 @@ class LocalCluster:
         scheduler_params: Optional[Dict[str, Any]] = None,
         byte_rate: Optional[float] = 100e6,
         per_op_overhead: float = 50e-6,
+        retry_policy: Optional[RetryPolicy] = None,
+        hedge_policy: Optional[HedgePolicy] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -39,17 +49,25 @@ class LocalCluster:
             )
             for i in range(n_servers)
         ]
+        self._retry_policy = retry_policy
+        self._hedge_policy = hedge_policy
         self.client: Optional[RuntimeClient] = None
+        self._extra_clients: List[RuntimeClient] = []
 
     async def start(self) -> "LocalCluster":
         await asyncio.gather(*(s.start() for s in self.servers))
         self.client = RuntimeClient(
-            endpoints=[(s.host, s.port) for s in self.servers]
+            endpoints=self.endpoints(),
+            retry_policy=self._retry_policy,
+            hedge_policy=self._hedge_policy,
         )
         await self.client.connect()
         return self
 
     async def stop(self) -> None:
+        for extra in self._extra_clients:
+            await extra.close()
+        self._extra_clients.clear()
         if self.client is not None:
             await self.client.close()
             self.client = None
@@ -61,12 +79,61 @@ class LocalCluster:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         await self.stop()
 
-    async def preload(self, items: Dict[str, bytes]) -> None:
-        """Write a batch of keys through the client."""
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def endpoints(self) -> List[tuple]:
+        return [(s.host, s.port) for s in self.servers]
+
+    async def new_client(self, **kwargs: Any) -> RuntimeClient:
+        """Connect an extra client (closed automatically with the cluster)."""
+        client = RuntimeClient(endpoints=self.endpoints(), **kwargs)
+        await client.connect()
+        self._extra_clients.append(client)
+        return client
+
+    # ------------------------------------------------------------------
+    # Chaos controls
+    # ------------------------------------------------------------------
+    def inject(self, server_id: int, *policies: FaultPolicy) -> None:
+        """Install fault policies on one server (see ``runtime.faults``)."""
+        for policy in policies:
+            self.servers[server_id].faults.add(policy)
+
+    def clear_faults(self, server_id: int) -> None:
+        self.servers[server_id].faults.clear()
+
+    async def crash(self, server_id: int) -> None:
+        """Hard-kill one server (connections severed, queue not drained)."""
+        await self.servers[server_id].crash()
+
+    async def restart(self, server_id: int) -> None:
+        """Bring a crashed server back on its original port."""
+        await self.servers[server_id].restart()
+
+    # ------------------------------------------------------------------
+    async def preload(
+        self, items: Dict[str, bytes], concurrency: int = 32
+    ) -> None:
+        """Write a batch of keys through the client, ``concurrency`` at a time."""
         if self.client is None:
             raise RuntimeError("cluster not started")
-        for key, value in items.items():
-            await self.client.put(key, value)
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        semaphore = asyncio.Semaphore(concurrency)
+
+        async def one(key: str, value: bytes) -> None:
+            async with semaphore:
+                await self.client.put(key, value)
+
+        await asyncio.gather(*(one(k, v) for k, v in items.items()))
 
     def total_ops_executed(self) -> int:
         return sum(s.executor.ops_executed for s in self.servers)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-server and client counter snapshot for chaos-run reporting."""
+        return {
+            "servers": {s.server_id: s.stats() for s in self.servers},
+            "client": self.client.stats() if self.client is not None else {},
+        }

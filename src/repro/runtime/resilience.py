@@ -1,0 +1,237 @@
+"""Client-side resilience policies for the asyncio runtime.
+
+Three cooperating pieces, mirroring the simulator's fault-tolerance knobs
+(``ClusterConfig.op_timeout`` / ``max_retries``) and the hedging/probing
+literature (Prequal, Tars):
+
+* :class:`RetryPolicy` — per-attempt timeout, bounded attempts with
+  exponential backoff + jitter, and an optional total deadline budget for
+  the whole operation.
+* :class:`HedgePolicy` — after the observed latency percentile (or a
+  fixed threshold), issue a duplicate sub-request on a secondary
+  connection; first reply wins, the loser is cancelled.
+* :class:`CircuitBreaker` — consecutive failures open the breaker; while
+  open, calls fail fast instead of burning their retry budget, and the
+  client marks the server unhealthy in its :class:`ServerEstimates` so
+  DAS tags route traffic around it.  After ``reset_timeout`` one probe is
+  let through (half-open); success closes the breaker.
+
+All randomness (jitter) flows through a generator seeded by the client,
+so failure-handling behaviour is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError
+
+
+class ServerUnavailableError(ReproError):
+    """The operation could not be completed against its server."""
+
+    def __init__(self, server_id: int, reason: str):
+        super().__init__(f"server {server_id} unavailable: {reason}")
+        self.server_id = server_id
+        self.reason = reason
+
+
+class OperationTimeoutError(ServerUnavailableError):
+    """Every attempt timed out (or the deadline budget ran out)."""
+
+
+class CircuitOpenError(ServerUnavailableError):
+    """Fail-fast rejection: the server's circuit breaker is open."""
+
+    def __init__(self, server_id: int):
+        super().__init__(server_id, "circuit breaker open")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / retry / backoff budget for one sub-request.
+
+    Parameters
+    ----------
+    op_timeout:
+        Per-attempt deadline in seconds.
+    max_attempts:
+        Total attempts including the first send.
+    backoff_base / backoff_factor:
+        Sleep before attempt *n* (n >= 2) is
+        ``backoff_base * backoff_factor**(n - 2)``, scaled by jitter.
+    jitter:
+        Fraction of the backoff randomized away: the sleep is drawn
+        uniformly from ``[backoff * (1 - jitter), backoff]``.
+    total_deadline:
+        Optional wall-clock budget for the whole operation across all
+        attempts and backoffs; exceeded -> :class:`OperationTimeoutError`.
+    """
+
+    op_timeout: float = 0.2
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    total_deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.op_timeout <= 0:
+            raise ConfigError("op_timeout must be positive")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ConfigError("backoff_base >= 0 and backoff_factor >= 1 required")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.total_deadline is not None and self.total_deadline <= 0:
+            raise ConfigError("total_deadline must be positive")
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff sleep before ``attempt`` (1-based; attempt 1 never waits)."""
+        if attempt <= 1 or self.backoff_base == 0:
+            return 0.0
+        nominal = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        if self.jitter == 0:
+            return nominal
+        return nominal * (1.0 - self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to duplicate a slow sub-request.
+
+    A hedge fires once the primary has been outstanding longer than the
+    ``percentile`` of recently observed sub-request latencies (needs at
+    least ``min_samples`` observations), or ``hedge_after`` seconds when
+    set, whichever is defined.  The duplicate goes out on a dedicated
+    secondary connection to the same server — a fresh socket sidesteps a
+    wedged connection, and the server sees an identical, idempotent read.
+    """
+
+    percentile: float = 95.0
+    min_samples: int = 20
+    hedge_after: Optional[float] = None
+    max_hedges: int = 1
+
+    def __post_init__(self):
+        if not 0 < self.percentile < 100:
+            raise ConfigError("percentile must be in (0, 100)")
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ConfigError("hedge_after must be positive")
+        if self.max_hedges < 1:
+            raise ConfigError("max_hedges must be >= 1")
+
+    def threshold(self, tracker: "LatencyTracker") -> Optional[float]:
+        """Delay before hedging, or None when not enough signal yet."""
+        if self.hedge_after is not None:
+            return self.hedge_after
+        return tracker.percentile(self.percentile, self.min_samples)
+
+
+class LatencyTracker:
+    """Sliding window of sub-request latencies for hedge thresholds."""
+
+    def __init__(self, window: int = 512):
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        self.window = window
+        self._samples: List[float] = []
+        self._next = 0
+
+    def record(self, latency: float) -> None:
+        if len(self._samples) < self.window:
+            self._samples.append(latency)
+        else:
+            self._samples[self._next] = latency
+            self._next = (self._next + 1) % self.window
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float, min_samples: int = 1) -> Optional[float]:
+        if len(self._samples) < min_samples:
+            return None
+        return float(np.percentile(self._samples, p))
+
+
+class CircuitBreaker:
+    """Per-server consecutive-failure breaker with half-open probing."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 0.5):
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = float("-inf")
+        self.open_count = 0
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """Whether a call may proceed; transitions open -> half-open."""
+        if self.state == self.CLOSED:
+            return True
+        now = time.monotonic() if now is None else now
+        if self.state == self.OPEN and now - self.opened_at >= self.reset_timeout:
+            self.state = self.HALF_OPEN
+            return True
+        return self.state == self.HALF_OPEN
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self, now: Optional[float] = None) -> bool:
+        """Fold in a failure; returns True when this opens the breaker."""
+        now = time.monotonic() if now is None else now
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self.opened_at = now
+            self.open_count += 1
+            return True
+        if self.state == self.OPEN:
+            self.opened_at = now
+        return False
+
+
+@dataclass
+class MultigetReport:
+    """Outcome of a ``multiget(..., partial=True)`` call.
+
+    ``failed_servers`` maps server id -> the final error message for its
+    slice; ``missing_keys`` are the requested keys owned by those servers
+    (absent from the returned value mapping).
+    """
+
+    requested: int = 0
+    fetched: int = 0
+    failed_servers: Dict[int, str] = field(default_factory=dict)
+    missing_keys: List[str] = field(default_factory=list)
+    retries: int = 0
+    hedges: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_servers
+
+    def __repr__(self) -> str:
+        return (
+            f"MultigetReport(requested={self.requested}, fetched={self.fetched}, "
+            f"failed_servers={sorted(self.failed_servers)}, "
+            f"retries={self.retries}, hedges={self.hedges})"
+        )

@@ -95,6 +95,25 @@ class ScheduledExecutor:
             await self._worker
             self._worker = None
 
+    async def abort(self) -> None:
+        """Halt immediately without draining queued work (crash semantics).
+
+        Queued operations' futures are cancelled so no submitter awaits a
+        result that will never come.
+        """
+        self._stopping = True
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        while len(self.queue) > 0:
+            op = self.queue.pop(time.monotonic())
+            if op.done is not None and not op.done.done():
+                op.done.cancel()
+
     def submit(self, op: QueuedOp) -> asyncio.Future:
         """Enqueue an operation; the returned future resolves with its result."""
         if op.done is None:

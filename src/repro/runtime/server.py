@@ -4,17 +4,27 @@ Each server owns a :class:`~repro.kvstore.storage.StorageEngine` and a
 :class:`~repro.runtime.scheduling.ScheduledExecutor`; connections submit
 operations into the executor and the response carries the executor's
 feedback snapshot — the runtime realization of piggybacked feedback.
+
+For chaos testing, a :class:`~repro.runtime.faults.FaultInjector` can be
+attached: it is consulted when a connection is accepted and once per
+message, and can make the server refuse, stall, delay, or disconnect —
+the runtime twin of the simulator's outage windows.  :meth:`crash` /
+:meth:`restart` additionally model a hard process death: the listener
+closes, every live connection is severed, and the executor halts without
+draining, until ``restart`` brings the server back on the same port.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import logging
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.errors import KeyNotFoundError, ProtocolError
 from repro.kvstore.storage import StorageEngine
+from repro.runtime.faults import DELAY, DISCONNECT, DROP, FaultInjector
 from repro.runtime.protocol import (
     Message,
     decode_value,
@@ -41,6 +51,9 @@ class KVServer:
         Emulated backend throughput (bytes/s); None disables throttling.
     per_op_overhead:
         Emulated fixed per-operation cost in seconds.
+    fault_injector:
+        Optional scripted misbehaviour; defaults to a pass-through
+        injector so policies can be added later via ``faults.add(...)``.
     """
 
     def __init__(
@@ -52,11 +65,14 @@ class KVServer:
         scheduler_params: Optional[Dict[str, Any]] = None,
         byte_rate: Optional[float] = 100e6,
         per_op_overhead: float = 50e-6,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.host = host
         self._requested_port = port
         self.server_id = server_id
         self.storage = StorageEngine(server_id=server_id, track_payloads=True)
+        self._scheduler = scheduler
+        self._scheduler_params = scheduler_params
         self.executor = ScheduledExecutor(
             policy_name=scheduler,
             policy_params=scheduler_params,
@@ -65,8 +81,13 @@ class KVServer:
         )
         self.byte_rate = byte_rate
         self.per_op_overhead = per_op_overhead
+        self.faults = fault_injector if fault_injector is not None else FaultInjector()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
         self.connections = 0
+        self.ops_served = 0
+        self.errors_returned = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -80,13 +101,49 @@ class KVServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
+        # Remember the concrete port so crash/restart reuses it and
+        # clients can reconnect to the same endpoint.
+        self._requested_port = self.port
 
     async def stop(self) -> None:
+        await self._close_listener()
+        self._drop_connections()
+        await self.executor.stop()
+
+    async def crash(self) -> None:
+        """Hard death: stop listening, sever connections, halt the executor.
+
+        Unlike :meth:`stop` this does not drain queued work — exactly what
+        a killed process would do.  :meth:`restart` brings the server back
+        on the same port with storage intact (a restart, not a rebuild).
+        """
+        self.crashes += 1
+        await self._close_listener()
+        self._drop_connections()
+        await self.executor.abort()
+
+    async def restart(self) -> None:
+        """Come back after :meth:`crash` on the same port."""
+        if self._server is not None:
+            raise RuntimeError("server is already running")
+        self.executor = ScheduledExecutor(
+            policy_name=self._scheduler,
+            policy_params=self._scheduler_params,
+            byte_rate=self.byte_rate,
+            server_id=self.server_id,
+        )
+        await self.start()
+
+    async def _close_listener(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.executor.stop()
+
+    def _drop_connections(self) -> None:
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
 
     # ------------------------------------------------------------------
     def _demand(self, value_size: int) -> float:
@@ -97,7 +154,13 @@ class KVServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if not self.faults.connection_allowed():
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+            return
         self.connections += 1
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -107,9 +170,19 @@ class KVServer:
                     break
                 if message is None:
                     break
+                decision = self.faults.decide(message)
+                if decision.action == DISCONNECT:
+                    break
+                if decision.action == DROP:
+                    continue
                 reply = await self._serve(message)
+                if decision.action == DELAY:
+                    await asyncio.sleep(decision.delay)
                 await write_message(writer, reply)
+        except (ConnectionError, OSError):
+            pass  # peer went away (or crash() severed us) mid-exchange
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -129,10 +202,13 @@ class KVServer:
             else:
                 raise ProtocolError(f"unexpected message type {message.type!r}")
             ok, error = True, None
+            self.ops_served += 1
         except KeyError as exc:
             values, ok, error = {}, False, f"missing field {exc}"
+            self.errors_returned += 1
         except ProtocolError as exc:
             values, ok, error = {}, False, str(exc)
+            self.errors_returned += 1
         return Message(
             type="reply",
             id=message.id,
@@ -189,3 +265,16 @@ class KVServer:
         op.work = work
         await self.executor.submit(op)
         return {key: True}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for tests and chaos-run reporting."""
+        return {
+            "connections_accepted": self.connections,
+            "active_connections": len(self._writers),
+            "ops_served": self.ops_served,
+            "ops_executed": self.executor.ops_executed,
+            "errors_returned": self.errors_returned,
+            "crashes": self.crashes,
+            "faults": self.faults.counters.as_dict(),
+        }

@@ -12,7 +12,7 @@ from collections import deque
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.kvstore.items import Operation, Request
+from repro.kvstore.items import Operation
 from repro.schedulers.base import (
     ClientTagger,
     QueueContext,

@@ -6,7 +6,6 @@ numbers.  They are the repository's regression net for the scientific
 result itself.
 """
 
-import dataclasses
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Integration tests for cluster assembly and end-to-end runs."""
 
-import dataclasses
 
 import pytest
 
@@ -54,7 +53,7 @@ class TestRuns:
 
     def test_max_requests_split_across_clients(self):
         cluster = Cluster(small_config(n_clients=3))
-        result = cluster.run(SimulationConfig(max_requests=100))
+        cluster.run(SimulationConfig(max_requests=100))
         sent = [c.requests_sent for c in cluster.clients]
         assert sum(sent) == 100
         assert max(sent) - min(sent) <= 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.kvstore.cluster import Cluster
-from repro.kvstore.config import ClusterConfig, SimulationConfig
+from repro.kvstore.config import SimulationConfig
 
 from tests.conftest import small_config
 

@@ -9,7 +9,6 @@ from repro.kvstore.network import (
     UniformLatencyNetwork,
     fat_tree_like_topology,
 )
-from repro.sim.core import Environment
 
 
 class TestUniformNetwork:

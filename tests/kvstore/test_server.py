@@ -9,7 +9,6 @@ from repro.kvstore.service import DegradationEvent, ServiceModel
 from repro.kvstore.storage import StorageEngine
 from repro.schedulers.base import QueueContext
 from repro.schedulers.registry import create_policy
-from repro.sim.core import Environment
 
 import numpy as np
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.kvstore.items import Request
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.percentiles import P2Quantile, exact_percentile, percentile_profile
 from repro.metrics.summary import compare_means, mean_confidence_interval, summarize

@@ -11,7 +11,6 @@ from repro.runtime.protocol import (
     decode_value,
     encode_value,
     read_message,
-    write_message,
 )
 
 

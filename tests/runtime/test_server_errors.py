@@ -2,8 +2,6 @@
 
 import asyncio
 
-import pytest
-
 from repro.runtime.protocol import Message, read_message, write_message
 from repro.runtime.server import KVServer
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.schedulers.edf import TAG_DEADLINE, DeadlineTagger, EdfPolicy
 from repro.schedulers.lrpt import LrptLastPolicy
-from repro.schedulers.rein import TAG_BOTTLENECK, BottleneckTagger, ReinMlPolicy, SbfPolicy
+from repro.schedulers.rein import TAG_BOTTLENECK, BottleneckTagger, ReinMlPolicy
 from repro.schedulers.registry import create_policy
 from repro.schedulers.sjf import TAG_TOTAL_DEMAND, TotalDemandTagger
 

@@ -70,7 +70,7 @@ class TestRun:
     def test_initial_time(self):
         env = Environment(initial_time=100.0)
         assert env.now == 100.0
-        t = env.timeout(5)
+        env.timeout(5)
         env.run()
         assert env.now == 105.0
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.core import Environment
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf
 
 
 class TestEvent:

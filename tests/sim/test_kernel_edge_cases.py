@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.core import Environment
 from repro.sim.events import AllOf, AnyOf, Interrupt
 from repro.sim.queues import Store
 

@@ -1,6 +1,5 @@
 """Tests for named traffic patterns."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
