@@ -43,8 +43,9 @@ from typing import Optional
 from repro.core.adaptive import AdaptiveThreshold
 from repro.core.estimator import EwmaEstimator, ServerEstimates
 from repro.core.priority import completion_horizon, remaining_processing_time
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchedulerError
 from repro.kvstore.items import Operation, Request
+from repro.obs.trace import OBS_BAND, OBS_PROMOTED, OBS_THRESHOLD
 from repro.schedulers.base import (
     ClientTagger,
     QueueContext,
@@ -93,11 +94,15 @@ class DasQueue(ServerQueue):
         self._srpt_front = srpt_front
         self._last_band_enabled = last_band
         self._front: list[tuple[float, int, Operation]] = []
-        #: Last band: RPT-ordered heap (demoted ops keep size order among
-        #: themselves) plus an arrival deque for aging checks.
-        self._last: list[tuple[float, int, Operation]] = []
+        #: Last band: RPT-ordered heap of mutable ``[rpt, seq, op]``
+        #: entries (demoted ops keep size order among themselves) plus an
+        #: arrival deque for aging checks.  A promotion tombstones its
+        #: heap entry in place (``entry[2] = None``); ``_last_index``
+        #: maps ``id(op)`` to the live entry, so band lengths count live
+        #: operations only and a heap of pure tombstones is detectable.
+        self._last: list[list] = []
+        self._last_index: dict[int, list] = {}
         self._last_by_age: deque[Operation] = deque()
-        self._taken: set[int] = set()
         self._seq = count()
         self.demotions = 0
         self.promotions = 0
@@ -115,11 +120,13 @@ class DasQueue(ServerQueue):
 
     @property
     def front_length(self) -> int:
+        """Live operations in the front band (promoted ops included)."""
         return len(self._front)
 
     @property
     def last_length(self) -> int:
-        return len(self._last)
+        """Live operations in the last band (tombstones excluded)."""
+        return len(self._last_index)
 
     # ------------------------------------------------------------------
     def _front_key(self, op: Operation, rpt: float) -> float:
@@ -133,25 +140,32 @@ class DasQueue(ServerQueue):
         prev_scale = self._scale_ewma.value
         self._scale_ewma.update(rpt)
         self.controller.observe(self._length + 1, now)
-        if (
-            self._last_band_enabled
-            and prev_scale is not None
-            and rpt > self.controller.threshold(prev_scale)
-        ):
-            heapq.heappush(self._last, (rpt, next(self._seq), op))
+        threshold = (
+            self.controller.threshold(prev_scale) if prev_scale is not None else None
+        )
+        if threshold is not None:
+            op.tag[OBS_THRESHOLD] = threshold
+        if self._last_band_enabled and threshold is not None and rpt > threshold:
+            entry = [rpt, next(self._seq), op]
+            heapq.heappush(self._last, entry)
+            self._last_index[id(op)] = entry
             self._last_by_age.append(op)
             self.demotions += 1
+            op.tag[OBS_BAND] = "last"
         else:
             heapq.heappush(self._front, (self._front_key(op, rpt), next(self._seq), op))
+            op.tag[OBS_BAND] = "front"
 
     def _pop_last(self) -> Operation:
         """Pop the smallest-RPT live entry from the last band."""
-        while True:
-            _, _, op = heapq.heappop(self._last)
-            if id(op) in self._taken:
-                self._taken.discard(id(op))
-                continue
+        while self._last:
+            entry = heapq.heappop(self._last)
+            op = entry[2]
+            if op is None:
+                continue  # tombstone left by a promotion
+            del self._last_index[id(op)]
             return op
+        raise SchedulerError("last band has no live operations")
 
     def _pop(self, now: float) -> Operation:
         self.controller.observe(self._length, now)
@@ -160,15 +174,19 @@ class DasQueue(ServerQueue):
         budget = self._starvation_factor * max(self.threshold, self.rpt_scale)
         while self._last_by_age and budget > 0:
             head = self._last_by_age[0]
-            if id(head) in self._taken:
-                self._taken.discard(id(head))
+            entry = self._last_index.get(id(head))
+            if entry is None or entry[2] is not head:
+                # Already served via _pop_last (or id collision with a
+                # later op); drop the stale age record.
                 self._last_by_age.popleft()
                 continue
             if now - head.enqueue_time > budget:
                 self._last_by_age.popleft()
-                self._taken.add(id(head))  # dead entry remains in the heap
+                del self._last_index[id(head)]
+                entry[2] = None  # tombstone the heap entry in place
                 heapq.heappush(self._front, (float("-inf"), next(self._seq), head))
                 self.promotions += 1
+                head.tag[OBS_PROMOTED] = True
             else:
                 break
         if self._front:
@@ -176,8 +194,6 @@ class DasQueue(ServerQueue):
         op = self._pop_last()
         if self._last_by_age and self._last_by_age[0] is op:
             self._last_by_age.popleft()
-        else:
-            self._taken.add(id(op))  # dead entry remains in the age deque
         return op
 
 

@@ -8,7 +8,12 @@ rows/series the paper plots.
 """
 
 from repro.experiments.report import format_reduction_table, format_scenario_table
-from repro.experiments.runner import CellResult, ScenarioResult, run_scenario
+from repro.experiments.runner import (
+    CellResult,
+    ScenarioResult,
+    run_scenario,
+    write_observability_artifacts,
+)
 from repro.experiments.scenarios import (
     SCENARIOS,
     RunPoint,
@@ -28,4 +33,5 @@ __all__ = [
     "format_scenario_table",
     "get_scenario",
     "run_scenario",
+    "write_observability_artifacts",
 ]

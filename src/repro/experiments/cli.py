@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.report import format_reduction_table, format_scenario_table
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import run_scenario, write_observability_artifacts
 from repro.experiments.scenarios import SCENARIOS, get_scenario
 
 
@@ -43,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="also render an ASCII line chart of each experiment",
     )
+    parser.add_argument(
+        "--artifacts", type=Path, default=None, metavar="DIR",
+        help="write per-experiment metrics/trace artifacts "
+             "(<ID>.metrics.json / .prom) into DIR",
+    )
     return parser
 
 
@@ -60,6 +66,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for experiment_id in ids:
         scenario = get_scenario(experiment_id, scale=args.scale)
         result = run_scenario(scenario, progress=progress)
+        if args.artifacts is not None:
+            for path in write_observability_artifacts(result, args.artifacts):
+                print(f"  wrote {path}")
         print()
         print(format_scenario_table(result))
         if experiment_id == "E7":

@@ -18,7 +18,11 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.experiments.report import scenario_markdown
-from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.runner import (
+    ScenarioResult,
+    run_scenario,
+    write_observability_artifacts,
+)
 from repro.experiments.scenarios import SCENARIOS, get_scenario
 
 #: What the paper (abstract) leads us to expect, per experiment.
@@ -146,7 +150,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids (default: all)")
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="directory for per-experiment metrics/trace "
+                             "artifacts (default: <out dir>/artifacts)")
     args = parser.parse_args(argv)
+    artifacts_dir = (
+        args.artifacts if args.artifacts is not None
+        else args.out.parent / "artifacts"
+    )
 
     ids = args.only if args.only else sorted(SCENARIOS)
     sections = []
@@ -157,7 +168,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario = get_scenario(experiment_id, scale=args.scale)
         result = run_scenario(scenario)
         sections.append(render_section(result))
-        print(f"[fullrun]   done in {result.wall_seconds:.0f}s", flush=True)
+        written = write_observability_artifacts(result, artifacts_dir)
+        print(f"[fullrun]   done in {result.wall_seconds:.0f}s "
+              f"({', '.join(p.name for p in written)})", flush=True)
 
     stamp = (
         f"\n---\n\nGenerated by `repro.experiments.fullrun` "

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +33,11 @@ class CellResult:
     utilization: float
     requests: int
     wall_seconds: float
+    #: Registry snapshot and sampled request traces captured by the run
+    #: (see :mod:`repro.obs`); written out as experiment artifacts.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    traces: List[Dict[str, Any]] = field(default_factory=list)
+    prometheus: str = ""
 
     def metric(self, name: str) -> float:
         """Look up a reported metric by name."""
@@ -85,7 +92,8 @@ def run_cell(point: RunPoint, scheduler: SchedulerSpec) -> CellResult:
         point.config, scheduler=scheduler.name, scheduler_params=dict(scheduler.params)
     )
     t0 = time.perf_counter()
-    result: RunResult = Cluster(config).run(point.sim)
+    cluster = Cluster(config)
+    result: RunResult = cluster.run(point.sim)
     wall = time.perf_counter() - t0
     slowdowns = result.collector.slowdowns(result.warmup_time)
     if slowdowns.size == 0:
@@ -102,7 +110,58 @@ def run_cell(point: RunPoint, scheduler: SchedulerSpec) -> CellResult:
         utilization=result.mean_utilization,
         requests=result.requests_completed,
         wall_seconds=wall,
+        # Gauges are evaluated here, while queues are still live, so the
+        # snapshot records end-of-run queue truth (k, band lengths, ...).
+        metrics=cluster.registry.snapshot(),
+        traces=cluster.tracer.as_dicts(),
+        prometheus=cluster.registry.to_prometheus(
+            extra_labels={"scheduler": scheduler.label}
+        ),
     )
+
+
+def write_observability_artifacts(
+    result: ScenarioResult, directory: Path
+) -> List[Path]:
+    """Write the scenario's metrics/trace artifacts next to its results.
+
+    Two files per scenario, named by experiment id:
+
+    * ``<EID>.metrics.json`` — every cell's registry snapshot plus its
+      sampled request traces;
+    * ``<EID>.metrics.prom`` — Prometheus text exposition for one
+      representative cell (the first DAS cell when present).  One cell
+      only: concatenating registries would repeat ``# TYPE`` lines,
+      which the exposition format forbids.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    eid = result.scenario.experiment_id
+    cells = [
+        {
+            "x": cell.x,
+            "scheduler": cell.scheduler,
+            "requests": cell.requests,
+            "metrics": cell.metrics,
+            "traces": cell.traces,
+        }
+        for cell in result.cells.values()
+    ]
+    json_path = directory / f"{eid}.metrics.json"
+    json_path.write_text(
+        json.dumps({"experiment_id": eid, "cells": cells}, indent=1, default=str),
+        encoding="utf-8",
+    )
+    written = [json_path]
+    representative = next(
+        (c for c in result.cells.values() if c.scheduler == "DAS" and c.prometheus),
+        next((c for c in result.cells.values() if c.prometheus), None),
+    )
+    if representative is not None:
+        prom_path = directory / f"{eid}.metrics.prom"
+        prom_path.write_text(representative.prometheus, encoding="utf-8")
+        written.append(prom_path)
+    return written
 
 
 def run_scenario(

@@ -18,6 +18,7 @@ from repro.kvstore.network import NetworkModel
 from repro.kvstore.replication import ReplicaPlacement
 from repro.kvstore.service import ServiceModel
 from repro.metrics.collector import MetricsCollector
+from repro.obs import OpSpan, RequestTrace, Tracer
 from repro.schedulers.base import ClientTagger
 from repro.sim.core import Environment
 from repro.workload.requests import RequestFactory
@@ -47,6 +48,7 @@ class Client:
         on_finished: Optional[Callable[["Client"], None]] = None,
         op_timeout: Optional[float] = None,
         max_retries: int = 0,
+        tracer: Optional[Tracer] = None,
     ):
         if op_timeout is not None and op_timeout <= 0:
             raise ValueError("op_timeout must be positive")
@@ -69,6 +71,7 @@ class Client:
 
         self.op_timeout = op_timeout
         self.max_retries = max_retries
+        self.tracer = tracer
         self.requests_sent = 0
         self.requests_completed = 0
         self.retries_sent = 0
@@ -225,6 +228,19 @@ class Client:
         request.completion_time = now
         self.requests_completed += 1
         self.metrics.record_request(request)
+        if self.tracer is not None and self.tracer.should_sample():
+            self.tracer.record(
+                RequestTrace(
+                    request_id=request.request_id,
+                    tag_time=request.arrival_time,
+                    reply_time=now,
+                    ops=[OpSpan.from_op(op) for op in request.operations],
+                    meta={
+                        "client": self.client_id,
+                        "keys": len(request.operations),
+                    },
+                )
+            )
         if self._on_finished is not None:
             self._on_finished(self)
 

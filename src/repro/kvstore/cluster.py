@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.estimator import ServerEstimates
 from repro.core.feedback import FeedbackMode
@@ -18,6 +18,7 @@ from repro.kvstore.service import ServiceModel
 from repro.kvstore.storage import StorageEngine
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import SummaryStats
+from repro.obs import MetricsRegistry, Tracer, register_queue_gauges
 from repro.schedulers.base import QueueContext
 from repro.schedulers.registry import create_policy
 from repro.sim.core import Environment
@@ -42,6 +43,17 @@ class RunResult:
     server_utilizations: List[float]
     requests_sent: int
     requests_completed: int
+    #: Observability surfaces captured by the run (live objects; snapshot
+    #: with ``registry.snapshot()`` / ``tracer.as_dicts()``).
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """JSON-able registry + trace snapshot of the finished run."""
+        return {
+            "metrics": self.registry.snapshot() if self.registry else {},
+            "traces": self.tracer.as_dicts() if self.tracer else [],
+        }
 
     def summary(self) -> SummaryStats:
         """RCT summary over the steady-state window."""
@@ -72,11 +84,18 @@ class Cluster:
     the configured stopping rule and returns a :class:`RunResult`.
     """
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = config
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
         self.metrics = MetricsCollector()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
 
         self.keyspace = Keyspace(
             config.keyspace_size, config.sizes, self.streams.stream("keyspace")
@@ -137,6 +156,7 @@ class Cluster:
         queue = self.policy.make_queue(
             QueueContext(server_id=sid, rng=self.streams.stream(f"sched/{sid}"))
         )
+        register_queue_gauges(self.registry, queue, sid)
         return Server(
             env=self.env,
             server_id=sid,
@@ -222,6 +242,7 @@ class Cluster:
             on_finished=self._check_drained,
             op_timeout=cfg.op_timeout,
             max_retries=cfg.max_retries,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
 
     def _start_periodic_feedback(self) -> None:
@@ -281,6 +302,8 @@ class Cluster:
             ],
             requests_sent=sum(c.requests_sent for c in self.clients),
             requests_completed=sum(c.requests_completed for c in self.clients),
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
 

@@ -1,7 +1,7 @@
 """Measurement: request-completion-time collection and summaries."""
 
 from repro.metrics.collector import MetricsCollector, RequestRecord
-from repro.metrics.percentiles import P2Quantile, exact_percentile
+from repro.metrics.percentiles import P2Quantile, exact_percentile, percentile_profile
 from repro.metrics.summary import SummaryStats, compare_means, mean_confidence_interval
 from repro.metrics.timeseries import WindowedSeries
 
@@ -14,4 +14,5 @@ __all__ = [
     "compare_means",
     "exact_percentile",
     "mean_confidence_interval",
+    "percentile_profile",
 ]

@@ -15,10 +15,15 @@ import numpy as np
 from repro.errors import ConfigError
 
 
+def _validate_percentile(q: float) -> None:
+    """Percentiles live in (0, 100]: q=100 is the max, q=0 is undefined."""
+    if not 0 < q <= 100:
+        raise ConfigError(f"percentile must be in (0, 100], got {q}")
+
+
 def exact_percentile(samples: Sequence[float], q: float) -> float:
-    """Exact ``q``-th percentile (0 < q < 100) with linear interpolation."""
-    if not 0 < q < 100:
-        raise ConfigError(f"percentile must be in (0, 100), got {q}")
+    """Exact ``q``-th percentile (0 < q <= 100) with linear interpolation."""
+    _validate_percentile(q)
     arr = np.asarray(samples, dtype=np.float64)
     if arr.size == 0:
         raise ConfigError("cannot take a percentile of zero samples")
@@ -120,10 +125,12 @@ class P2Quantile:
 def percentile_profile(
     samples: Sequence[float], qs: Iterable[float] = (50, 90, 95, 99, 99.9)
 ) -> dict[float, float]:
-    """Exact percentiles at several points at once."""
+    """Exact percentiles at several points at once (each in (0, 100])."""
+    qs = list(qs)
+    for q in qs:
+        _validate_percentile(q)
     arr = np.asarray(samples, dtype=np.float64)
     if arr.size == 0:
         raise ConfigError("cannot profile zero samples")
-    qs = list(qs)
     values = np.percentile(arr, qs)
     return {q: float(v) for q, v in zip(qs, values)}

@@ -1,0 +1,75 @@
+"""Bind live scheduler/queue state to registry gauges.
+
+The bridge registers *callback-backed* gauges that read the queue's own
+attributes at export time, so the exported numbers are the queue's truth
+by construction (no copy to go stale).  Duck-typed on purpose: any
+:class:`~repro.schedulers.base.ServerQueue` gets the generic gauges, and
+DAS-shaped queues (``controller``/band counters present) additionally get
+the adaptive-scheduler set — without this module importing any policy.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+def register_queue_gauges(registry: MetricsRegistry, queue, server_id) -> None:
+    """Register live gauges for one server's queue under ``server=<id>``."""
+    sid = str(server_id)
+    registry.gauge(
+        "queue_length", "Operations currently queued", fn=lambda: len(queue), server=sid
+    )
+    registry.gauge(
+        "queue_queued_demand",
+        "Total queued service demand (reference seconds)",
+        fn=lambda: queue.queued_demand,
+        server=sid,
+    )
+    controller = getattr(queue, "controller", None)
+    if controller is None:
+        return
+    registry.gauge(
+        "das_k", "Adaptive demotion multiplier k", fn=lambda: controller.k, server=sid
+    )
+    registry.gauge(
+        "das_queue_pressure",
+        "EWMA queue length driving the controller",
+        fn=lambda: controller.queue_pressure,
+        server=sid,
+    )
+    registry.gauge(
+        "das_threshold",
+        "Current demotion threshold (RPT seconds)",
+        fn=lambda: queue.threshold,
+        server=sid,
+    )
+    registry.gauge(
+        "das_rpt_scale",
+        "EWMA of tagged RPTs (the threshold scale)",
+        fn=lambda: queue.rpt_scale,
+        server=sid,
+    )
+    registry.gauge(
+        "das_front_length",
+        "Live operations in the front band",
+        fn=lambda: queue.front_length,
+        server=sid,
+    )
+    registry.gauge(
+        "das_last_length",
+        "Live operations in the last band",
+        fn=lambda: queue.last_length,
+        server=sid,
+    )
+    registry.gauge(
+        "das_demotions_total",
+        "Operations demoted to the last band (monotone)",
+        fn=lambda: queue.demotions,
+        server=sid,
+    )
+    registry.gauge(
+        "das_promotions_total",
+        "Starvation promotions out of the last band (monotone)",
+        fn=lambda: queue.promotions,
+        server=sid,
+    )

@@ -40,7 +40,7 @@ from repro.runtime.resilience import (
     RetryPolicy,
     ServerUnavailableError,
 )
-from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
+from repro.runtime.scheduling import ExecutorStoppedError, QueuedOp, ScheduledExecutor
 from repro.runtime.server import KVServer
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "DelayReplies",
     "Disconnect",
     "DropReplies",
+    "ExecutorStoppedError",
     "FaultInjector",
     "FaultPolicy",
     "HedgePolicy",

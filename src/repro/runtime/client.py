@@ -32,6 +32,13 @@ from repro.core.estimator import ServerEstimates
 from repro.errors import ProtocolError
 from repro.kvstore.items import Feedback
 from repro.kvstore.partitioning import ConsistentHashRing
+from repro.obs import (
+    MetricsRegistry,
+    OpSpan,
+    RequestTrace,
+    TRACE_REQUESTED,
+    Tracer,
+)
 from repro.runtime.protocol import (
     Message,
     decode_value,
@@ -93,6 +100,14 @@ class RuntimeClient:
         Circuit-breaker tuning (only used with ``retry_policy``).
     seed:
         Seed for backoff jitter, making retry timing reproducible.
+    registry:
+        Metrics registry for the client's counters/histograms (a shared
+        cluster registry, or a private one by default).
+    tracer:
+        When set and enabled, sampled multigets are traced end-to-end:
+        the client stamps ``trace`` into the tags, servers return per-op
+        spans, and the assembled :class:`RequestTrace` lands in the
+        tracer (tag -> enqueue -> service -> reply).
     """
 
     def __init__(
@@ -106,6 +121,8 @@ class RuntimeClient:
         breaker_failure_threshold: int = 5,
         breaker_reset_timeout: float = 0.5,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
@@ -129,18 +146,35 @@ class RuntimeClient:
         self._breaker_reset_timeout = breaker_reset_timeout
         self._latency = LatencyTracker()
         self._ids = itertools.count(1)
-        self.counters: Dict[str, int] = {
-            "retries": 0,
-            "timeouts": 0,
-            "connection_errors": 0,
-            "reconnects": 0,
-            "hedges_sent": 0,
-            "hedges_won": 0,
-            "hedges_lost": 0,
-            "breaker_opens": 0,
-            "breaker_rejections": 0,
-            "partial_multigets": 0,
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._trace_ids = itertools.count(1)
+        #: name -> registry Counter; bump with ``self.counters[name].inc()``.
+        self.counters = {
+            name: self.registry.counter(f"client_{name}_total", help)
+            for name, help in (
+                ("retries", "Retry attempts sent"),
+                ("timeouts", "Attempts that timed out"),
+                ("connection_errors", "Attempts that died on the wire"),
+                ("reconnects", "Connections re-established"),
+                ("hedges_sent", "Hedge duplicates issued"),
+                ("hedges_won", "Hedges that beat the primary"),
+                ("hedges_lost", "Hedges the primary beat"),
+                ("breaker_opens", "Circuit breakers tripped open"),
+                ("breaker_rejections", "Calls rejected by an open breaker"),
+                ("partial_multigets", "Multigets that returned partial data"),
+            )
         }
+        self._attempt_latency = self.registry.histogram(
+            "client_attempt_latency_seconds", "Per-attempt round-trip latency"
+        )
+        self.registry.gauge(
+            "client_breakers_open",
+            "Breakers currently open",
+            fn=lambda: sum(
+                1 for b in self._breakers.values() if b.state == CircuitBreaker.OPEN
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Connection management
@@ -166,7 +200,7 @@ class RuntimeClient:
         pool = self._hedge_connections if hedge else self._connections
         pool[server_id] = conn
         if (server_id, hedge) in self._ever_connected:
-            self.counters["reconnects"] += 1
+            self.counters["reconnects"].inc()
         self._ever_connected.add((server_id, hedge))
         return conn
 
@@ -260,7 +294,7 @@ class RuntimeClient:
 
     def _mark_unhealthy(self, server_id: int) -> None:
         """Feed breaker-open into the estimates so DAS routes around it."""
-        self.counters["breaker_opens"] += 1
+        self.counters["breaker_opens"].inc()
         self.estimates.observe(
             Feedback(
                 server_id=server_id,
@@ -300,7 +334,9 @@ class RuntimeClient:
                 reply = await asyncio.wait_for(fut, timeout)
         finally:
             conn.pending.pop(message.id, None)
-        self._latency.record(time.monotonic() - sent_at)
+        elapsed = time.monotonic() - sent_at
+        self._latency.record(elapsed)
+        self._attempt_latency.observe(elapsed)
         return reply
 
     async def _attempt_maybe_hedged(
@@ -317,7 +353,7 @@ class RuntimeClient:
         done, _ = await asyncio.wait({primary}, timeout=threshold)
         if primary in done:
             return primary.result()
-        self.counters["hedges_sent"] += 1
+        self.counters["hedges_sent"].inc()
         hedge = asyncio.create_task(
             self._attempt(server_id, mtype, fields, timeout, hedge=True)
         )
@@ -334,7 +370,7 @@ class RuntimeClient:
                 await asyncio.gather(*tasks, return_exceptions=True)
                 self.counters[
                     "hedges_won" if winner is hedge else "hedges_lost"
-                ] += 1
+                ].inc()
                 return winner.result()
             last_exc = next(iter(done)).exception()
         assert last_exc is not None
@@ -361,10 +397,10 @@ class RuntimeClient:
         last_exc: Optional[BaseException] = None
         for attempt in range(1, policy.max_attempts + 1):
             if not breaker.allow():
-                self.counters["breaker_rejections"] += 1
+                self.counters["breaker_rejections"].inc()
                 raise CircuitOpenError(server_id)
             if attempt > 1:
-                self.counters["retries"] += 1
+                self.counters["retries"].inc()
                 pause = policy.backoff(attempt, self._rng)
                 if pause > 0:
                     await asyncio.sleep(pause)
@@ -384,10 +420,10 @@ class RuntimeClient:
                 else:
                     reply = await self._attempt(server_id, mtype, fields, timeout)
             except asyncio.TimeoutError as exc:
-                self.counters["timeouts"] += 1
+                self.counters["timeouts"].inc()
                 last_exc = exc
             except (ConnectionError, OSError) as exc:
-                self.counters["connection_errors"] += 1
+                self.counters["connection_errors"].inc()
                 last_exc = exc
             else:
                 breaker.record_success()
@@ -449,7 +485,11 @@ class RuntimeClient:
         return values[key]
 
     async def _fetch(
-        self, server_id: int, server_keys: List[str], tags: Dict[str, float]
+        self,
+        server_id: int,
+        server_keys: List[str],
+        tags: Dict[str, float],
+        span_sink: Optional[List[dict]] = None,
     ) -> Dict[str, Optional[bytes]]:
         reply = await self._call(
             server_id,
@@ -459,6 +499,8 @@ class RuntimeClient:
         )
         if not reply.fields.get("ok"):
             raise ProtocolError(f"mget failed: {reply.fields.get('error')}")
+        if span_sink is not None:
+            span_sink.extend(reply.fields.get("spans") or [])
         out: Dict[str, Optional[bytes]] = {}
         for key, encoded in reply.fields.get("values", {}).items():
             value = decode_value(encoded) if encoded is not None else None
@@ -486,15 +528,33 @@ class RuntimeClient:
         by_server: Dict[int, List[str]] = {}
         for key in keys:
             by_server.setdefault(self.owner(key), []).append(key)
+        tag_time = time.monotonic()
         tags = self._tags_for(by_server)
+        span_sink: Optional[List[dict]] = None
+        if self.tracer is not None and self.tracer.should_sample():
+            tags[TRACE_REQUESTED] = True
+            span_sink = []
         server_ids = list(by_server)
-        retries_before = self.counters["retries"]
-        hedges_before = self.counters["hedges_sent"]
+        retries_before = self.counters["retries"].value
+        hedges_before = self.counters["hedges_sent"].value
 
         results = await asyncio.gather(
-            *(self._fetch(sid, by_server[sid], tags) for sid in server_ids),
+            *(
+                self._fetch(sid, by_server[sid], tags, span_sink=span_sink)
+                for sid in server_ids
+            ),
             return_exceptions=partial,
         )
+        if span_sink is not None:
+            self.tracer.record(
+                RequestTrace(
+                    request_id=next(self._trace_ids),
+                    tag_time=tag_time,
+                    reply_time=time.monotonic(),
+                    ops=[OpSpan(**span) for span in span_sink],
+                    meta={"keys": len(keys), "servers": len(server_ids)},
+                )
+            )
         merged: Dict[str, Optional[bytes]] = {}
         report = MultigetReport(requested=len(keys))
         for server_id, chunk in zip(server_ids, results):
@@ -509,10 +569,10 @@ class RuntimeClient:
         if not partial:
             return merged
         report.fetched = len(merged)
-        report.retries = self.counters["retries"] - retries_before
-        report.hedges = self.counters["hedges_sent"] - hedges_before
+        report.retries = int(self.counters["retries"].value - retries_before)
+        report.hedges = int(self.counters["hedges_sent"].value - hedges_before)
         if not report.complete:
-            self.counters["partial_multigets"] += 1
+            self.counters["partial_multigets"].inc()
         return merged, report
 
     # ------------------------------------------------------------------
@@ -520,8 +580,20 @@ class RuntimeClient:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Counter snapshot: retries, timeouts, reconnects, hedges, ..."""
-        snapshot = dict(self.counters)
+        snapshot = {name: int(c.value) for name, c in self.counters.items()}
         snapshot["breakers_open"] = sum(
             1 for b in self._breakers.values() if b.state == CircuitBreaker.OPEN
         )
         return snapshot
+
+    async def server_stats(self, server_id: int) -> Dict:
+        """Scrape one server's observability surface over the wire.
+
+        Returns the server's ``stats()`` dict (flat counters plus its
+        registry snapshot under ``metrics``) via the ``stats`` protocol
+        message.
+        """
+        reply = await self._call(server_id, "stats", {})
+        if not reply.fields.get("ok"):
+            raise ProtocolError(f"stats failed: {reply.fields.get('error')}")
+        return reply.fields.get("stats", {})

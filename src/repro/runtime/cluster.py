@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional
 
+from repro.obs import MetricsRegistry, Tracer
 from repro.runtime.client import RuntimeClient
 from repro.runtime.faults import FaultPolicy
 from repro.runtime.resilience import HedgePolicy, RetryPolicy
@@ -25,7 +26,13 @@ from repro.runtime.server import KVServer
 
 
 class LocalCluster:
-    """Spin up servers on loopback ports and a client wired to them."""
+    """Spin up servers on loopback ports and a client wired to them.
+
+    One :class:`MetricsRegistry` is shared by every server and the
+    client, so :meth:`metrics_snapshot` / :meth:`metrics_text` expose the
+    whole cluster in a single scrape; one :class:`Tracer` collects
+    sampled request traces (``trace_sample_rate=0`` disables tracing).
+    """
 
     def __init__(
         self,
@@ -36,9 +43,12 @@ class LocalCluster:
         per_op_overhead: float = 50e-6,
         retry_policy: Optional[RetryPolicy] = None,
         hedge_policy: Optional[HedgePolicy] = None,
+        trace_sample_rate: float = 1 / 128,
     ):
         if n_servers < 1:
             raise ValueError("need at least one server")
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(sample_rate=trace_sample_rate)
         self.servers = [
             KVServer(
                 server_id=i,
@@ -46,6 +56,7 @@ class LocalCluster:
                 scheduler_params=scheduler_params,
                 byte_rate=byte_rate,
                 per_op_overhead=per_op_overhead,
+                registry=self.registry,
             )
             for i in range(n_servers)
         ]
@@ -60,6 +71,8 @@ class LocalCluster:
             endpoints=self.endpoints(),
             retry_policy=self._retry_policy,
             hedge_policy=self._hedge_policy,
+            registry=self.registry,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         await self.client.connect()
         return self
@@ -137,3 +150,23 @@ class LocalCluster:
             "servers": {s.server_id: s.stats() for s in self.servers},
             "client": self.client.stats() if self.client is not None else {},
         }
+
+    # ------------------------------------------------------------------
+    # Observability export
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of the shared registry plus trace summary.
+
+        Callback gauges are evaluated now, so DAS gauges (``das_k``,
+        band lengths, promotions/demotions) reflect queue-internal truth
+        at the moment of the call.
+        """
+        return {
+            "metrics": self.registry.snapshot(),
+            "traces": self.tracer.as_dicts(),
+            "trace_sampled": self.tracer.sampled,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the whole cluster's registry."""
+        return self.registry.to_prometheus()

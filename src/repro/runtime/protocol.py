@@ -9,12 +9,20 @@ Request types (client -> server):
 * ``get``  — ``{"key": str, "tags": {...}}``
 * ``put``  — ``{"key": str, "value": str (base64), "tags": {...}}``
 * ``mget`` — ``{"keys": [str], "tags": {...}}``
+* ``stats`` — ``{}`` — scrape the server's observability surface; the
+  reply's ``stats`` field carries the counter snapshot and the metrics
+  registry snapshot (see ``repro.obs``).  Served from the control plane
+  (never queued behind data operations).
 
 Response (server -> client):
 
 * ``reply`` — ``{"ok": bool, "values": {key: str|null}, "error": str|null,
   "feedback": {"queued_work": float, "queue_length": int,
-  "rate_sample": float}}``
+  "rate_sample": float}}``.  When the request's tags carried
+  ``"trace": true`` the reply additionally includes ``spans``: one
+  ``{key, server_id, enqueue, service_start, service_end, band,
+  threshold, promoted}`` object per operation, timestamped with the
+  server's monotonic clock.
 
 ``tags`` carries the scheduler priority payload (e.g. DAS's ``rpt``) —
 the protocol-level realization of "priorities travel with operations".
@@ -35,7 +43,7 @@ _LEN = struct.Struct(">I")
 #: Sanity bound so a corrupt length prefix cannot allocate gigabytes.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
-VALID_TYPES = ("get", "put", "mget", "reply")
+VALID_TYPES = ("get", "put", "mget", "stats", "reply")
 
 
 @dataclass

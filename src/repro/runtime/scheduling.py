@@ -18,8 +18,17 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro.core.estimator import EwmaEstimator
+from repro.obs import MetricsRegistry, register_queue_gauges
 from repro.schedulers.base import QueueContext, SchedulingPolicy, ServerQueue
 from repro.schedulers.registry import create_policy
+
+
+class ExecutorStoppedError(RuntimeError):
+    """Submit rejected because the executor has been stopped or aborted.
+
+    Raised synchronously by :meth:`ScheduledExecutor.submit` so a caller
+    can never be handed a future that no worker will ever resolve.
+    """
 
 
 @dataclass
@@ -67,6 +76,7 @@ class ScheduledExecutor:
         byte_rate: Optional[float] = 100e6,
         server_id: int = 0,
         rate_alpha: float = 0.2,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.policy: SchedulingPolicy = create_policy(
             policy_name, **(policy_params or {})
@@ -79,7 +89,30 @@ class ScheduledExecutor:
         self._wakeup = asyncio.Event()
         self._worker: Optional[asyncio.Task] = None
         self._stopping = False
-        self.ops_executed = 0
+        #: Registry instruments.  A shared registry (e.g. the cluster's)
+        #: keeps one series per server across executor restarts; a fresh
+        #: one is created for standalone use.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        sid = str(server_id)
+        self._ops_executed = self.registry.counter(
+            "executor_ops_total", "Operations executed to completion", server=sid
+        )
+        self._ops_failed = self.registry.counter(
+            "executor_op_failures_total", "Operations whose work raised", server=sid
+        )
+        self._rejected = self.registry.counter(
+            "executor_rejected_total", "Submits refused after stop/abort", server=sid
+        )
+        self._service_hist = self.registry.histogram(
+            "executor_service_seconds", "Per-operation service time", server=sid
+        )
+        self.registry.gauge(
+            "executor_rate",
+            "EWMA of measured service rate (demand-seconds/second)",
+            fn=lambda: self.measured_rate,
+            server=sid,
+        )
+        register_queue_gauges(self.registry, self.queue, server_id)
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -115,7 +148,17 @@ class ScheduledExecutor:
                 op.done.cancel()
 
     def submit(self, op: QueuedOp) -> asyncio.Future:
-        """Enqueue an operation; the returned future resolves with its result."""
+        """Enqueue an operation; the returned future resolves with its result.
+
+        Submitting before :meth:`start` is allowed (the batch is served
+        once the worker runs); submitting after :meth:`stop` or
+        :meth:`abort` raises :class:`ExecutorStoppedError` immediately —
+        the queue is dead and a future enqueued onto it would hang its
+        awaiter forever.
+        """
+        if self._stopping:
+            self._rejected.inc()
+            raise ExecutorStoppedError("executor is stopped; operation rejected")
         if op.done is None:
             op.done = asyncio.get_running_loop().create_future()
         self.queue.push(op, time.monotonic())
@@ -141,7 +184,13 @@ class ScheduledExecutor:
                     # Yield so a flood of zero-cost ops cannot starve the loop.
                     await asyncio.sleep(0)
             except Exception as exc:  # noqa: BLE001 - forwarded to the waiter
+                # The queue saw this op leave service even though it
+                # failed; skipping the hook would desynchronize adaptive
+                # state (EWMAs, controller) from reality.
                 op.finish_time = time.monotonic()
+                self._ops_failed.inc()
+                self._service_hist.observe(op.finish_time - op.start_time)
+                self.queue.on_service_complete(op, op.finish_time)
                 if not op.done.done():
                     op.done.set_exception(exc)
                 continue
@@ -149,12 +198,23 @@ class ScheduledExecutor:
             elapsed = op.finish_time - op.start_time
             if op.demand > 0 and elapsed > 0:
                 self._rate_ewma.update(op.demand / elapsed)
-            self.ops_executed += 1
+            self._ops_executed.inc()
+            self._service_hist.observe(elapsed)
             self.queue.on_service_complete(op, op.finish_time)
             if not op.done.done():
                 op.done.set_result(result)
 
     # ------------------------------------------------------------------
+    @property
+    def ops_executed(self) -> int:
+        """Operations executed to completion (registry-backed)."""
+        return int(self._ops_executed.value)
+
+    @property
+    def ops_failed(self) -> int:
+        """Operations whose work raised (registry-backed)."""
+        return int(self._ops_failed.value)
+
     @property
     def measured_rate(self) -> float:
         return self._rate_ewma.value_or(1.0)

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import logging
 import time
 from typing import Any, Dict, Optional, Set
 
 from repro.errors import KeyNotFoundError, ProtocolError
 from repro.kvstore.storage import StorageEngine
+from repro.obs import MetricsRegistry, OpSpan, TRACE_REQUESTED
 from repro.runtime.faults import DELAY, DISCONNECT, DROP, FaultInjector
 from repro.runtime.protocol import (
     Message,
@@ -32,7 +34,7 @@ from repro.runtime.protocol import (
     read_message,
     write_message,
 )
-from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
+from repro.runtime.scheduling import ExecutorStoppedError, QueuedOp, ScheduledExecutor
 
 logger = logging.getLogger(__name__)
 
@@ -54,6 +56,11 @@ class KVServer:
     fault_injector:
         Optional scripted misbehaviour; defaults to a pass-through
         injector so policies can be added later via ``faults.add(...)``.
+    registry:
+        Metrics registry to record into.  A cluster passes one shared
+        registry so every server's series lands in one scrape; a
+        standalone server creates its own.  Series survive
+        :meth:`crash`/:meth:`restart` (the server keeps its identity).
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class KVServer:
         byte_rate: Optional[float] = 100e6,
         per_op_overhead: float = 50e-6,
         fault_injector: Optional[FaultInjector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.host = host
         self._requested_port = port
@@ -73,21 +81,38 @@ class KVServer:
         self.storage = StorageEngine(server_id=server_id, track_payloads=True)
         self._scheduler = scheduler
         self._scheduler_params = scheduler_params
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.executor = ScheduledExecutor(
             policy_name=scheduler,
             policy_params=scheduler_params,
             byte_rate=byte_rate,
             server_id=server_id,
+            registry=self.registry,
         )
         self.byte_rate = byte_rate
         self.per_op_overhead = per_op_overhead
         self.faults = fault_injector if fault_injector is not None else FaultInjector()
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
-        self.connections = 0
-        self.ops_served = 0
-        self.errors_returned = 0
-        self.crashes = 0
+        sid = str(server_id)
+        self._c_connections = self.registry.counter(
+            "server_connections_total", "Connections accepted", server=sid
+        )
+        self._c_ops_served = self.registry.counter(
+            "server_ops_total", "Data messages served OK", server=sid
+        )
+        self._c_errors = self.registry.counter(
+            "server_errors_total", "Error replies returned", server=sid
+        )
+        self._c_crashes = self.registry.counter(
+            "server_crashes_total", "Hard crashes injected", server=sid
+        )
+        self.registry.gauge(
+            "server_active_connections",
+            "Currently open connections",
+            fn=lambda: len(self._writers),
+            server=sid,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -117,7 +142,7 @@ class KVServer:
         a killed process would do.  :meth:`restart` brings the server back
         on the same port with storage intact (a restart, not a rebuild).
         """
-        self.crashes += 1
+        self._c_crashes.inc()
         await self._close_listener()
         self._drop_connections()
         await self.executor.abort()
@@ -131,6 +156,7 @@ class KVServer:
             policy_params=self._scheduler_params,
             byte_rate=self.byte_rate,
             server_id=self.server_id,
+            registry=self.registry,
         )
         await self.start()
 
@@ -159,7 +185,7 @@ class KVServer:
             with contextlib.suppress(ConnectionError, OSError):
                 await writer.wait_closed()
             return
-        self.connections += 1
+        self._c_connections.inc()
         self._writers.add(writer)
         try:
             while True:
@@ -190,25 +216,38 @@ class KVServer:
                 pass
 
     async def _serve(self, message: Message) -> Message:
+        extra: Dict[str, Any] = {}
         try:
             if message.type == "get":
-                values = await self._do_gets([message.fields["key"]], message.fields)
+                values, spans = await self._do_gets(
+                    [message.fields["key"]], message.fields
+                )
             elif message.type == "mget":
-                values = await self._do_gets(
+                values, spans = await self._do_gets(
                     list(message.fields["keys"]), message.fields
                 )
             elif message.type == "put":
-                values = await self._do_put(message.fields)
+                values, spans = await self._do_put(message.fields)
+            elif message.type == "stats":
+                # Control plane: answered directly, never queued behind
+                # data operations (a scrape must work on a loaded server).
+                values, spans = {}, None
+                extra["stats"] = self.stats()
             else:
                 raise ProtocolError(f"unexpected message type {message.type!r}")
             ok, error = True, None
-            self.ops_served += 1
+            self._c_ops_served.inc()
+            if spans is not None:
+                extra["spans"] = spans
         except KeyError as exc:
             values, ok, error = {}, False, f"missing field {exc}"
-            self.errors_returned += 1
+            self._c_errors.inc()
+        except ExecutorStoppedError:
+            values, ok, error = {}, False, "server shutting down"
+            self._c_errors.inc()
         except ProtocolError as exc:
             values, ok, error = {}, False, str(exc)
-            self.errors_returned += 1
+            self._c_errors.inc()
         return Message(
             type="reply",
             id=message.id,
@@ -217,19 +256,28 @@ class KVServer:
                 "values": values,
                 "error": error,
                 "feedback": self.executor.feedback(),
+                **extra,
             },
         )
 
-    async def _do_gets(self, keys: list, fields: Dict[str, Any]) -> Dict[str, Any]:
+    async def _do_gets(self, keys: list, fields: Dict[str, Any]):
         tags = dict(fields.get("tags", {}))
         futures = []
+        ops = []
         for key in keys:
             size = self._stored_size(key)
             op = QueuedOp(key=key, demand=self._demand(size), tag=dict(tags))
             op.work = self._make_get_work(key)
+            ops.append(op)
             futures.append(self.executor.submit(op))
         results = await asyncio.gather(*futures)
-        return dict(zip(keys, results))
+        spans = None
+        if tags.get(TRACE_REQUESTED):
+            spans = [
+                dataclasses.asdict(OpSpan.from_op(op, server_id=self.server_id))
+                for op in ops
+            ]
+        return dict(zip(keys, results)), spans
 
     def _stored_size(self, key: str) -> int:
         """Size lookup for demand estimation (0 when the key is absent)."""
@@ -250,7 +298,7 @@ class KVServer:
 
         return work
 
-    async def _do_put(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+    async def _do_put(self, fields: Dict[str, Any]):
         key = fields["key"]
         payload = decode_value(fields["value"])
         tags = dict(fields.get("tags", {}))
@@ -264,17 +312,49 @@ class KVServer:
 
         op.work = work
         await self.executor.submit(op)
-        return {key: True}
+        spans = None
+        if tags.get(TRACE_REQUESTED):
+            spans = [dataclasses.asdict(OpSpan.from_op(op, server_id=self.server_id))]
+        return {key: True}, spans
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def connections(self) -> int:
+        return int(self._c_connections.value)
+
+    @property
+    def ops_served(self) -> int:
+        return int(self._c_ops_served.value)
+
+    @property
+    def errors_returned(self) -> int:
+        return int(self._c_errors.value)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._c_crashes.value)
+
     def stats(self) -> Dict[str, Any]:
-        """Counter snapshot for tests and chaos-run reporting."""
+        """Counter snapshot for tests and chaos-run reporting.
+
+        The flat keys are kept for back-compatibility; ``metrics`` holds
+        the full registry snapshot (the same surface the ``stats`` wire
+        message and Prometheus exposition serve).
+        """
         return {
             "connections_accepted": self.connections,
             "active_connections": len(self._writers),
             "ops_served": self.ops_served,
             "ops_executed": self.executor.ops_executed,
+            "ops_failed": self.executor.ops_failed,
             "errors_returned": self.errors_returned,
             "crashes": self.crashes,
             "faults": self.faults.counters.as_dict(),
+            "metrics": self.registry.snapshot(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of this server's registry."""
+        return self.registry.to_prometheus()

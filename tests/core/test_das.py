@@ -135,6 +135,78 @@ class TestStarvationBound:
         assert queue.promotions == 0
 
 
+class TestPromotionTombstones:
+    """Promotions tombstone heap entries; band accounting must see through.
+
+    Regression: the old implementation tracked promoted ops in an id()
+    set, so ``last_length`` kept counting tombstones and draining a
+    pure-tombstone last band raised IndexError.
+    """
+
+    def _promote_all(self, n_giants=4):
+        queue = das_queue(starvation_factor=1.0, scale_alpha=0.01)
+        push_tagged(queue, 1.0, request_id=0, now=0.0)  # seeds the scale
+        giants = [
+            push_tagged(queue, 10.0 + i, request_id=i + 1, now=0.0)
+            for i in range(n_giants)
+        ]
+        assert queue.demotions == n_giants
+        assert queue.last_length == n_giants
+        return queue, giants
+
+    def test_band_lengths_exclude_tombstones(self):
+        queue, giants = self._promote_all()
+        # Far in the future every giant is past its starvation budget;
+        # one pop promotes all of them and serves the first.
+        first = queue.pop(now=1e6)
+        assert first in giants
+        assert queue.promotions == len(giants)
+        assert queue.last_length == 0  # all tombstones, none live
+        assert queue.front_length == len(giants) - 1 + 1  # rest + seed op
+
+    def test_drain_after_promoting_every_last_band_op(self):
+        queue, giants = self._promote_all()
+        served = [queue.pop(now=1e6) for _ in range(len(queue))]
+        # No IndexError on the pure-tombstone heap, nothing lost, nothing
+        # served twice: the seed op plus every giant, exactly once each.
+        assert len(queue) == 0
+        assert queue.last_length == 0 and queue.front_length == 0
+        assert sorted(op.request_id for op in served) == list(
+            range(len(giants) + 1)
+        )
+
+    def test_promoted_op_annotated(self):
+        queue, giants = self._promote_all(n_giants=1)
+        served = queue.pop(now=1e6)
+        assert served is giants[0]
+        from repro.obs import OBS_PROMOTED
+
+        assert served.tag[OBS_PROMOTED] is True
+
+    def test_mixed_serve_and_promote_keeps_counts_consistent(self):
+        queue = das_queue(starvation_factor=1.0, scale_alpha=0.01)
+        push_tagged(queue, 1.0, request_id=0, now=0.0)
+        push_tagged(queue, 10.0, request_id=1, now=0.0)
+        push_tagged(queue, 20.0, request_id=2, now=0.0)
+        queue.pop(now=0.0)  # seed op from the front
+        queue.pop(now=0.0)  # smallest giant via _pop_last
+        assert queue.last_length == 1
+        queue.pop(now=1e6)  # remaining giant, via promotion
+        assert queue.promotions == 1
+        assert queue.last_length == 0
+        assert len(queue) == 0
+
+    def test_band_annotations_written_at_enqueue(self):
+        from repro.obs import OBS_BAND, OBS_THRESHOLD
+
+        queue = das_queue(scale_alpha=0.01)
+        seed = push_tagged(queue, 1.0, request_id=0)
+        giant = push_tagged(queue, 50.0, request_id=1)
+        assert seed.tag[OBS_BAND] == "front"
+        assert giant.tag[OBS_BAND] == "last"
+        assert giant.tag[OBS_THRESHOLD] == pytest.approx(2.0)  # k=2 * scale 1
+
+
 class TestPolicy:
     def test_policy_builds_working_queue(self):
         queue = DasPolicy().make_queue(make_context())

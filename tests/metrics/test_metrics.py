@@ -153,6 +153,27 @@ class TestPercentiles:
         profile = percentile_profile(samples, qs=(50, 99))
         assert profile[50] == pytest.approx(499.5)
 
+    def test_both_apis_accept_q_100(self):
+        samples = [1.0, 2.0, 3.0]
+        assert exact_percentile(samples, 100) == 3.0
+        assert percentile_profile(samples, qs=(100,))[100] == 3.0
+
+    def test_both_apis_reject_out_of_range(self):
+        samples = [1.0, 2.0, 3.0]
+        for bad_q in (0, -5, 150):
+            with pytest.raises(ConfigError):
+                exact_percentile(samples, bad_q)
+            with pytest.raises(ConfigError):
+                percentile_profile(samples, qs=(bad_q,))
+
+    def test_profile_validates_before_touching_samples(self):
+        # A bad q must raise ConfigError even with empty samples — the
+        # two functions agree on validation order and error type.
+        with pytest.raises(ConfigError):
+            percentile_profile([], qs=(0,))
+        with pytest.raises(ConfigError):
+            exact_percentile([], 0)
+
     def test_p2_accuracy_on_uniform(self):
         rng = np.random.default_rng(1)
         estimator = P2Quantile(0.5)

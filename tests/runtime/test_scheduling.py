@@ -4,7 +4,11 @@ import asyncio
 
 import pytest
 
-from repro.runtime.scheduling import QueuedOp, ScheduledExecutor
+from repro.runtime.scheduling import (
+    ExecutorStoppedError,
+    QueuedOp,
+    ScheduledExecutor,
+)
 
 
 def run(coro):
@@ -148,5 +152,88 @@ class TestExecutor:
             await executor.stop()
             results = [f.result() for f in futures]
             assert results == [0, 1, 2, 3, 4]
+
+        run(scenario())
+
+
+class TestLifecycleRejection:
+    """submit() after stop/abort must fail fast, never hang the awaiter."""
+
+    def test_submit_after_stop_raises(self):
+        async def scenario():
+            executor = ScheduledExecutor(policy_name="fcfs", byte_rate=None)
+            await executor.start()
+            await executor.stop()
+            with pytest.raises(ExecutorStoppedError):
+                executor.submit(make_queued_op())
+            assert executor.registry.value(
+                "executor_rejected_total", server="0"
+            ) == 1.0
+
+        run(scenario())
+
+    def test_submit_after_abort_raises(self):
+        async def scenario():
+            executor = ScheduledExecutor(policy_name="fcfs", byte_rate=None)
+            await executor.start()
+            await executor.abort()
+            with pytest.raises(ExecutorStoppedError):
+                executor.submit(make_queued_op())
+
+        run(scenario())
+
+    def test_submit_before_start_still_allowed(self):
+        async def scenario():
+            executor = ScheduledExecutor(policy_name="fcfs", byte_rate=None)
+            future = executor.submit(make_queued_op(result="queued early"))
+            await executor.start()
+            assert await future == "queued early"
+            await executor.stop()
+
+        run(scenario())
+
+
+class TestFailurePath:
+    def test_failed_op_still_completes_queue_bookkeeping(self):
+        async def scenario():
+            executor = ScheduledExecutor(policy_name="fcfs", byte_rate=None)
+            completed = []
+            original = executor.queue.on_service_complete
+            executor.queue.on_service_complete = (
+                lambda op, now: (completed.append(op), original(op, now))
+            )
+            await executor.start()
+            bad = QueuedOp(key="k", demand=0.0)
+
+            def boom():
+                raise ValueError("work failed")
+
+            bad.work = boom
+            with pytest.raises(ValueError):
+                await executor.submit(bad)
+            good = make_queued_op()
+            await executor.submit(good)
+            await executor.stop()
+            # The completion hook ran for the failure too — adaptive
+            # queue state must not drift when work raises.
+            assert completed == [bad, good]
+            assert bad.finish_time >= bad.start_time
+
+        run(scenario())
+
+    def test_failures_counted_separately_from_successes(self):
+        async def scenario():
+            executor = ScheduledExecutor(policy_name="fcfs", byte_rate=None)
+            await executor.start()
+            bad = QueuedOp(key="k", demand=0.0)
+            bad.work = lambda: (_ for _ in ()).throw(RuntimeError("nope"))
+            with pytest.raises(RuntimeError):
+                await executor.submit(bad)
+            await executor.submit(make_queued_op())
+            await executor.stop()
+            assert executor.ops_executed == 1
+            assert executor.ops_failed == 1
+            hist = executor.registry.get("executor_service_seconds", server="0")
+            assert hist.count == 2  # failures are observed too
 
         run(scenario())
