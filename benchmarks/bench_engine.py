@@ -1,0 +1,153 @@
+"""Experiment-engine benchmark: emits the ``BENCH_engine.json`` perf record.
+
+Measures the two numbers that bound experiment throughput (see
+``docs/benchmarking.md``):
+
+* **sim events/sec** — raw kernel throughput (timeout schedule/fire
+  cycles) plus an end-to-end cell rate (simulated requests/sec through a
+  full cluster), the quantities the hot-path work in ``repro.sim`` /
+  ``repro.kvstore.items`` targets;
+* **cells/sec, sequential vs N workers** — the parallel engine's fan-out
+  gain on a multi-cell scenario, with a cell-for-cell equality check
+  against the sequential runner (the determinism guarantee).
+
+Run from the repository root::
+
+    python benchmarks/bench_engine.py                 # writes BENCH_engine.json
+    python benchmarks/bench_engine.py --workers 8     # different pool size
+    python benchmarks/bench_engine.py --out other.json --scale 0.05
+
+Compare two commits by running the script on each and diffing the JSON
+records; fields are flat numbers on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.experiments.parallel import run_scenario_parallel
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import get_scenario
+from repro.sim.core import Environment
+
+#: Experiment the cells/sec comparison runs (small grid, mixed schedulers).
+SCENARIO_ID = "E2"
+
+
+def measure_kernel_events(n: int = 200_000, repeats: int = 3) -> float:
+    """Timeout schedule/fire cycles per second of the DES kernel (best of N)."""
+    best = 0.0
+    for _ in range(repeats):
+        env = Environment()
+
+        def proc():
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        t0 = time.perf_counter()
+        env.run()
+        best = max(best, n / (time.perf_counter() - t0))
+    return best
+
+
+def measure_cell_requests(scale: float) -> dict:
+    """Simulated requests/sec through one full cluster cell."""
+    scenario = get_scenario("E1", scale=scale)
+    point, scheduler = scenario.points[0], scenario.schedulers[-1]
+    from repro.experiments.runner import run_cell
+
+    t0 = time.perf_counter()
+    cell = run_cell(point, scheduler)
+    wall = time.perf_counter() - t0
+    return {
+        "requests": cell.requests,
+        "wall_seconds": wall,
+        "requests_per_second": cell.requests / wall,
+    }
+
+
+def measure_scenario(scale: float, workers: int) -> dict:
+    """Cells/sec sequential vs parallel on the comparison scenario."""
+    scenario = get_scenario(SCENARIO_ID, scale=scale)
+    n_cells = len(scenario.points) * len(scenario.schedulers)
+
+    t0 = time.perf_counter()
+    seq = run_scenario(scenario)
+    seq_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = run_scenario_parallel(scenario, workers=workers)
+    par_wall = time.perf_counter() - t0
+
+    identical = all(
+        seq.cells[key].summary == par.cells[key].summary
+        and seq.cells[key].metrics == par.cells[key].metrics
+        for key in seq.cells
+    )
+    return {
+        "scenario": SCENARIO_ID,
+        "cells": n_cells,
+        "sequential_wall_seconds": seq_wall,
+        "sequential_cells_per_second": n_cells / seq_wall,
+        "parallel_workers": workers,
+        "parallel_wall_seconds": par_wall,
+        "parallel_cells_per_second": n_cells / par_wall,
+        "speedup": seq_wall / par_wall,
+        "cells_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_engine.json"))
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="scenario scale for the cells/sec comparison")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size for the parallel leg (0 = one per CPU)")
+    args = parser.parse_args(argv)
+    workers = args.workers or os.cpu_count() or 1
+
+    print(f"[bench_engine] kernel events/sec ...", flush=True)
+    events_per_second = measure_kernel_events()
+    print(f"[bench_engine]   {events_per_second:,.0f} events/s", flush=True)
+
+    print(f"[bench_engine] end-to-end cell (E1 point, DAS) ...", flush=True)
+    cell = measure_cell_requests(args.scale)
+    print(f"[bench_engine]   {cell['requests_per_second']:,.0f} requests/s",
+          flush=True)
+
+    print(f"[bench_engine] {SCENARIO_ID} sequential vs {workers} workers ...",
+          flush=True)
+    scenario = measure_scenario(args.scale, workers)
+    print(
+        f"[bench_engine]   {scenario['sequential_cells_per_second']:.2f} -> "
+        f"{scenario['parallel_cells_per_second']:.2f} cells/s "
+        f"(speedup {scenario['speedup']:.2f}x, "
+        f"identical={scenario['cells_identical']})",
+        flush=True,
+    )
+
+    record = {
+        "benchmark": "engine",
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "sim_events_per_second": events_per_second,
+        "cell_end_to_end": cell,
+        "scenario_throughput": scenario,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench_engine] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,7 @@ class DasTagger(ClientTagger):
     def tag_request(
         self, request: Request, now: float, estimates: Optional[ServerEstimates]
     ) -> None:
+        """Write the RPT and horizon tags onto every operation."""
         rpt = remaining_processing_time(request, now, estimates)
         horizon = completion_horizon(request, now, estimates)
         for op in request.operations:
@@ -169,6 +170,13 @@ class DasQueue(ServerQueue):
 
     def _pop(self, now: float) -> Operation:
         self.controller.observe(self._length, now)
+        # Fast path: no demoted operations means no aging to check and no
+        # threshold/budget to evaluate — the common case at light load,
+        # where pop is just a front-band heappop.
+        if not self._last_by_age:
+            if self._front:
+                return heapq.heappop(self._front)[2]
+            return self._pop_last()
         # Starvation bound: promote the oldest last-band operation once it
         # has waited beyond the budget; it jumps to the very front.
         budget = self._starvation_factor * max(self.threshold, self.rpt_scale)
@@ -266,6 +274,7 @@ class DasPolicy(SchedulingPolicy):
         self.adapt_interval = adapt_interval
 
     def make_queue(self, context: QueueContext) -> ServerQueue:
+        """Build one server's :class:`DasQueue` with its own controller."""
         controller = AdaptiveThreshold(
             k_init=self.k_init,
             k_min=self.k_min,
@@ -287,4 +296,5 @@ class DasPolicy(SchedulingPolicy):
         )
 
     def make_tagger(self) -> ClientTagger:
+        """Build the client-side tagger paired with this policy."""
         return DasTagger()

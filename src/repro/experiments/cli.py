@@ -5,6 +5,12 @@ Usage::
     repro-experiments E1 E5            # run selected experiments
     repro-experiments --all            # run the full suite
     repro-experiments E1 --scale 0.25  # quick pass at a quarter size
+    repro-experiments E1 --workers 4   # fan cells out over 4 processes
+    repro-experiments --all --workers 4 --checkpoint .cells   # resumable
+
+Results are identical at any ``--workers`` count (see
+``docs/benchmarking.md`` for the determinism guarantees); with
+``--checkpoint DIR`` an interrupted run resumes from the finished cells.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.experiments.parallel import run_scenario_parallel
 from repro.experiments.report import format_reduction_table, format_scenario_table
 from repro.experiments.runner import run_scenario, write_observability_artifacts
 from repro.experiments.scenarios import SCENARIOS, get_scenario
@@ -36,6 +43,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="request-count scale factor (default 1.0; use <1 for quick passes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell fan-out (default 1 = sequential; "
+        "0 = one per CPU); results are identical at any count",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write per-cell checkpoints into DIR and resume from them "
+        "(finished cells are skipped on rerun)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="with --checkpoint: overwrite existing cell checkpoints "
+        "instead of resuming from them",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
@@ -62,10 +91,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    progress = None if args.quiet else lambda msg: print(f"  running {msg}")
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
     for experiment_id in ids:
         scenario = get_scenario(experiment_id, scale=args.scale)
-        result = run_scenario(scenario, progress=progress)
+        if args.workers == 1 and args.checkpoint is None:
+            # The reference sequential path (kept as its own code path so
+            # the parallel engine can be validated against it).
+            seq_progress = (
+                None if progress is None else (lambda msg: progress(f"running {msg}"))
+            )
+            result = run_scenario(scenario, progress=seq_progress)
+        else:
+            result = run_scenario_parallel(
+                scenario,
+                workers=args.workers or None,
+                progress=progress,
+                checkpoint_dir=args.checkpoint,
+                resume=not args.no_resume,
+            )
         if args.artifacts is not None:
             for path in write_observability_artifacts(result, args.artifacts):
                 print(f"  wrote {path}")

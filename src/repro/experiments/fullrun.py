@@ -1,12 +1,18 @@
 """Generate EXPERIMENTS.md: run the whole suite and record paper-vs-measured.
 
-Usage::
+This is the evaluation-record generator (DESIGN.md §4 maps experiment ids
+to the paper's tables and figures; ``docs/experiments.md`` documents the
+matrix).  Usage::
 
     python -m repro.experiments.fullrun [--scale 0.4] [--out EXPERIMENTS.md]
+    python -m repro.experiments.fullrun --workers 4 --checkpoint .cells
 
 Each experiment section contains the measured table, the DAS reductions
 vs FCFS and vs Rein-SBF where applicable, and the paper expectation the
-run is checked against.
+run is checked against.  ``--workers N`` fans the cells of each
+experiment out over N processes (identical output, see
+``docs/benchmarking.md``); ``--checkpoint DIR`` makes an interrupted
+full run resumable cell by cell.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.experiments.parallel import run_scenario_parallel
 from repro.experiments.report import scenario_markdown
 from repro.experiments.runner import (
     ScenarioResult,
@@ -90,6 +97,7 @@ def _reduction_lines(result: ScenarioResult) -> List[str]:
 
 
 def render_section(result: ScenarioResult) -> str:
+    """Render one experiment's EXPERIMENTS.md section (table + notes)."""
     scenario = result.scenario
     parts = [
         f"## {scenario.experiment_id} — {scenario.title}",
@@ -145,6 +153,7 @@ file with `python -m repro.experiments.fullrun`.
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested experiments and write the EXPERIMENTS.md record."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.4)
     parser.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
@@ -153,6 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--artifacts", type=Path, default=None,
                         help="directory for per-experiment metrics/trace "
                              "artifacts (default: <out dir>/artifacts)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes per experiment "
+                             "(default 1 = sequential; 0 = one per CPU)")
+    parser.add_argument("--checkpoint", type=Path, default=None, metavar="DIR",
+                        help="per-cell checkpoint directory; reruns resume "
+                             "from the finished cells")
     args = parser.parse_args(argv)
     artifacts_dir = (
         args.artifacts if args.artifacts is not None
@@ -166,7 +181,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[fullrun] running {experiment_id} at scale {args.scale} ...",
               flush=True)
         scenario = get_scenario(experiment_id, scale=args.scale)
-        result = run_scenario(scenario)
+        if args.workers == 1 and args.checkpoint is None:
+            result = run_scenario(scenario)
+        else:
+            result = run_scenario_parallel(
+                scenario,
+                workers=args.workers or None,
+                checkpoint_dir=args.checkpoint,
+            )
         sections.append(render_section(result))
         written = write_observability_artifacts(result, artifacts_dir)
         print(f"[fullrun]   done in {result.wall_seconds:.0f}s "

@@ -1,0 +1,399 @@
+"""Parallel experiment engine: fan scenario cells out over worker processes.
+
+The paper's evaluation is a grid of *independent* cells — every
+``(x-axis point, scheduler)`` pair builds its own cluster from its own
+config and seed, so cells share no state and can run on any core in any
+order.  :func:`run_scenario_parallel` exploits that: it schedules the
+grid on a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles
+the results into the same :class:`~repro.experiments.runner.ScenarioResult`
+the sequential runner produces.
+
+Guarantees (tested in ``tests/experiments/test_parallel.py``):
+
+* **Determinism at any worker count.**  Each cell's randomness is fully
+  determined by its own ``ClusterConfig.seed`` — never by execution
+  order, completion order, or worker identity — so ``--workers 4``
+  produces cell-for-cell identical summaries to the sequential runner.
+  When per-point seed variation is requested (``reseed_points=True``,
+  for replication studies), seeds are *derived from cell identity* in
+  ``SeedSequence.spawn`` style (:func:`derive_seed`), which preserves the
+  same guarantee.
+* **Checkpoint/resume.**  With a ``checkpoint_dir``, every finished cell
+  is written to its own JSON file keyed by grid coordinates and a config
+  fingerprint; a rerun skips cells whose checkpoint exists and matches,
+  so an interrupted sweep continues where it stopped (a changed scenario
+  invalidates the stale cells automatically).
+* **Observable progress.**  Engine counters/gauges live in a
+  :class:`~repro.obs.registry.MetricsRegistry` (``engine_*``) and feed
+  the per-cell progress/ETA line the CLI prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.runner import CellResult, ScenarioResult, run_cell
+from repro.experiments.scenarios import RunPoint, Scenario, SchedulerSpec
+from repro.metrics.summary import SummaryStats
+from repro.obs import MetricsRegistry
+
+#: Version stamp of the checkpoint file format; bump on layout changes.
+CHECKPOINT_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def derive_seed(root_seed: int, *key: int) -> int:
+    """Derive a child seed from ``root_seed`` and an identity ``key``.
+
+    ``SeedSequence.spawn``-style: the child is a deterministic function of
+    ``(root, key)`` only, so two engines that agree on cell identity agree
+    on the seed no matter which worker runs the cell or in what order.
+    """
+    seq = np.random.SeedSequence(int(root_seed), spawn_key=tuple(int(k) for k in key))
+    return int(seq.generate_state(1, dtype=np.uint64)[0] >> 1)  # non-negative
+
+
+# ----------------------------------------------------------------------
+# Cell tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellTask:
+    """One grid cell, addressed by its (point, scheduler) coordinates."""
+
+    point_index: int
+    scheduler_index: int
+    point: RunPoint
+    scheduler: SchedulerSpec
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell identity for progress lines."""
+        return f"point={self.point.x!r} scheduler={self.scheduler.label}"
+
+
+def cell_tasks(scenario: Scenario, reseed_points: bool = False) -> List[CellTask]:
+    """Expand a scenario grid into independent cell tasks.
+
+    With ``reseed_points`` every x-axis point gets a seed derived from its
+    grid position (:func:`derive_seed`); schedulers at the same point keep
+    sharing a seed so A/B comparisons stay paired by workload.
+    """
+    tasks: List[CellTask] = []
+    for pi, point in enumerate(scenario.points):
+        if reseed_points:
+            config = dataclasses.replace(
+                point.config, seed=derive_seed(point.config.seed, pi)
+            )
+            point = RunPoint(x=point.x, config=config, sim=point.sim)
+        for si, scheduler in enumerate(scenario.schedulers):
+            tasks.append(CellTask(pi, si, point, scheduler))
+    return tasks
+
+
+def _execute_cell(task: CellTask) -> Tuple[int, int, CellResult]:
+    """Worker entry point: run one cell and ship the result back."""
+    return task.point_index, task.scheduler_index, run_cell(task.point, task.scheduler)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint serialization
+# ----------------------------------------------------------------------
+def cell_fingerprint(task: CellTask) -> str:
+    """Config fingerprint deciding whether a checkpoint is still valid.
+
+    Built from the dataclass reprs of the cell's cluster config, sim
+    config, and scheduler spec — all deterministic — so editing a scenario
+    invalidates exactly the cells the edit touched.
+    """
+    text = repr((task.point.config, task.point.sim, task.scheduler))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _safe_label(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label)[:48]
+
+
+def checkpoint_path(directory: Path, scenario: Scenario, task: CellTask) -> Path:
+    """Checkpoint file for one cell: grid coordinates + readable label."""
+    name = (
+        f"p{task.point_index:03d}_s{task.scheduler_index:02d}"
+        f"_{_safe_label(task.scheduler.label)}.json"
+    )
+    return Path(directory) / scenario.experiment_id / name
+
+
+def cell_to_jsonable(cell: CellResult) -> Dict:
+    """Project a :class:`CellResult` onto JSON-able types."""
+    return {
+        "x": cell.x if isinstance(cell.x, (int, float, str, bool)) else repr(cell.x),
+        "scheduler": cell.scheduler,
+        "summary": cell.summary.as_dict(),
+        "mean_slowdown": cell.mean_slowdown,
+        "p99_slowdown": cell.p99_slowdown,
+        "utilization": cell.utilization,
+        "requests": cell.requests,
+        "wall_seconds": cell.wall_seconds,
+        "metrics": cell.metrics,
+        "traces": cell.traces,
+        "prometheus": cell.prometheus,
+    }
+
+
+def cell_from_jsonable(data: Dict, x: object) -> CellResult:
+    """Rebuild a :class:`CellResult` from :func:`cell_to_jsonable` output.
+
+    ``x`` comes from the live scenario point (not the JSON) so checkpoint
+    round-trips cannot drift the grid key's type.
+    """
+    s = data["summary"]
+    summary = SummaryStats(
+        count=int(s["count"]),
+        mean=s["mean"],
+        std=s["std"],
+        p50=s["p50"],
+        p90=s["p90"],
+        p95=s["p95"],
+        p99=s["p99"],
+        p999=s["p999"],
+        minimum=s["min"],
+        maximum=s["max"],
+    )
+    return CellResult(
+        x=x,
+        scheduler=data["scheduler"],
+        summary=summary,
+        mean_slowdown=data["mean_slowdown"],
+        p99_slowdown=data["p99_slowdown"],
+        utilization=data["utilization"],
+        requests=data["requests"],
+        wall_seconds=data["wall_seconds"],
+        metrics=data.get("metrics", {}),
+        traces=data.get("traces", []),
+        prometheus=data.get("prometheus", ""),
+    )
+
+
+def _write_checkpoint(
+    path: Path, scenario: Scenario, task: CellTask, cell: CellResult
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "experiment_id": scenario.experiment_id,
+        "point_index": task.point_index,
+        "scheduler_index": task.scheduler_index,
+        "fingerprint": cell_fingerprint(task),
+        "cell": cell_to_jsonable(cell),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, default=str), encoding="utf-8")
+    os.replace(tmp, path)  # atomic: a crash never leaves a torn checkpoint
+
+
+def _load_checkpoint(
+    path: Path, scenario: Scenario, task: CellTask
+) -> Optional[CellResult]:
+    """Load a cell checkpoint; None when missing, stale, or unreadable."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        return None
+    if payload.get("fingerprint") != cell_fingerprint(task):
+        return None
+    try:
+        return cell_from_jsonable(payload["cell"], task.point.x)
+    except (KeyError, TypeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Progress / ETA
+# ----------------------------------------------------------------------
+class EngineProgress:
+    """Live progress state exported through an obs registry.
+
+    Registers ``engine_cells_total`` / ``engine_workers`` gauges, the
+    ``engine_cells_completed_total`` / ``engine_cells_resumed_total``
+    counters, and callback gauges ``engine_cells_per_second`` /
+    ``engine_eta_seconds`` that read this object, so a registry snapshot
+    taken mid-run reports the engine's own truth.
+    """
+
+    def __init__(self, registry: MetricsRegistry, total: int, workers: int):
+        self.total = total
+        self.completed = 0
+        self.resumed = 0
+        self._started = time.perf_counter()
+        self._registry = registry
+        registry.gauge("engine_cells_total", "Cells in the scenario grid").set(total)
+        registry.gauge("engine_workers", "Worker processes in the pool").set(workers)
+        self._completed_counter = registry.counter(
+            "engine_cells_completed_total", "Cells completed (executed or resumed)"
+        )
+        self._resumed_counter = registry.counter(
+            "engine_cells_resumed_total", "Cells skipped via checkpoint resume"
+        )
+        registry.gauge(
+            "engine_cells_per_second",
+            "Freshly executed cells per wall second",
+            fn=lambda: self.cells_per_second,
+        )
+        registry.gauge(
+            "engine_eta_seconds",
+            "Estimated seconds until the grid completes",
+            fn=lambda: self.eta_seconds,
+        )
+
+    @property
+    def executed(self) -> int:
+        """Cells actually run this session (resumed cells excluded)."""
+        return self.completed - self.resumed
+
+    @property
+    def cells_per_second(self) -> float:
+        """Freshly executed cells per wall second since engine start."""
+        elapsed = time.perf_counter() - self._started
+        return self.executed / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        """Projected seconds to finish the grid at the current rate."""
+        rate = self.cells_per_second
+        remaining = self.total - self.completed
+        return remaining / rate if rate > 0 else float("inf")
+
+    def mark(self, resumed: bool = False) -> None:
+        """Record one completed cell (``resumed`` = loaded, not run)."""
+        self.completed += 1
+        self._completed_counter.inc()
+        if resumed:
+            self.resumed += 1
+            self._resumed_counter.inc()
+
+    def line(self, experiment_id: str, detail: str = "") -> str:
+        """One status line: counts, throughput, and ETA."""
+        parts = [f"[{experiment_id}] {self.completed}/{self.total} cells"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        rate = self.cells_per_second
+        if rate > 0:
+            parts.append(f"{rate:.2f} cells/s")
+            eta = self.eta_seconds
+            if eta != float("inf"):
+                parts.append(f"ETA {eta:.0f}s")
+        if detail:
+            parts.append(detail)
+        return " · ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def run_scenario_parallel(
+    scenario: Scenario,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    checkpoint_dir: Optional[Path] = None,
+    resume: bool = True,
+    reseed_points: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> ScenarioResult:
+    """Run every cell of ``scenario`` across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()``.  ``1`` runs the
+        cells inline (no pool) — the reference sequential path.
+    progress:
+        Callback receiving one status/ETA line per completed cell.
+    checkpoint_dir:
+        When set, each finished cell is written to
+        ``<dir>/<EID>/p###_s##_<label>.json`` and (with ``resume=True``)
+        cells whose checkpoint exists and matches the scenario fingerprint
+        are loaded instead of re-run.
+    resume:
+        Honor existing checkpoints (default).  ``False`` re-runs and
+        overwrites every cell.
+    reseed_points:
+        Give each x-axis point an identity-derived seed (see
+        :func:`cell_tasks`); default keeps the scenario's paired seeds.
+    registry:
+        Observability registry for the ``engine_*`` metrics; a private one
+        is created when omitted.
+    """
+    if workers is not None and workers < 1:
+        raise ConfigError("workers must be >= 1")
+    workers = workers or os.cpu_count() or 1
+    t0 = time.perf_counter()
+    tasks = cell_tasks(scenario, reseed_points=reseed_points)
+    registry = registry if registry is not None else MetricsRegistry()
+    state = EngineProgress(registry, total=len(tasks), workers=workers)
+
+    cells: Dict[Tuple[object, str], CellResult] = {}
+    pending: List[CellTask] = []
+    for task in tasks:
+        cached = None
+        if checkpoint_dir is not None and resume:
+            cached = _load_checkpoint(
+                checkpoint_path(checkpoint_dir, scenario, task), scenario, task
+            )
+        if cached is not None:
+            cells[(task.point.x, task.scheduler.label)] = cached
+            state.mark(resumed=True)
+            if progress is not None:
+                progress(state.line(scenario.experiment_id, f"resumed {task.label}"))
+        else:
+            pending.append(task)
+
+    def finish(task: CellTask, cell: CellResult) -> None:
+        """Record one finished cell: store, checkpoint, report progress."""
+        cells[(task.point.x, task.scheduler.label)] = cell
+        if checkpoint_dir is not None:
+            _write_checkpoint(
+                checkpoint_path(checkpoint_dir, scenario, task), scenario, task, cell
+            )
+        state.mark()
+        if progress is not None:
+            progress(state.line(scenario.experiment_id, f"done {task.label}"))
+
+    if workers == 1 or len(pending) <= 1:
+        for task in pending:
+            finish(task, run_cell(task.point, task.scheduler))
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(_execute_cell, task): task for task in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _, _, cell = future.result()
+                    finish(futures[future], cell)
+
+    # Reassemble in grid order: the result is independent of completion
+    # order by construction (cells is keyed, not appended).
+    ordered: Dict[Tuple[object, str], CellResult] = {}
+    for point in scenario.points:
+        for scheduler in scenario.schedulers:
+            ordered[(point.x, scheduler.label)] = cells[(point.x, scheduler.label)]
+    return ScenarioResult(
+        scenario=scenario,
+        cells=ordered,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,4 +1,14 @@
-"""Execute scenario grids and collect per-cell results."""
+"""Execute scenario grids sequentially and collect per-cell results.
+
+This is the *reference* runner: :func:`run_cell` builds one cluster from
+one ``(RunPoint, SchedulerSpec)`` cell, runs it to completion, and
+condenses the outcome into a :class:`CellResult` (RCT summary, slowdown
+percentiles, observability snapshot); :func:`run_scenario` walks the
+grid in order and assembles a :class:`ScenarioResult`.  The parallel
+engine (:mod:`repro.experiments.parallel`) reuses :func:`run_cell`
+unchanged and is validated cell-for-cell against this module — see
+``docs/experiments.md``.
+"""
 
 from __future__ import annotations
 
@@ -59,6 +69,7 @@ class ScenarioResult:
     wall_seconds: float
 
     def cell(self, x: object, scheduler_label: str) -> CellResult:
+        """Look up one cell by its grid coordinates."""
         try:
             return self.cells[(x, scheduler_label)]
         except KeyError:
@@ -75,6 +86,7 @@ class ScenarioResult:
         ]
 
     def xs(self) -> List[object]:
+        """The scenario's x-axis values, in point order."""
         return [p.x for p in self.scenario.points]
 
     def reduction_vs(

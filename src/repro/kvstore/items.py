@@ -5,6 +5,11 @@ touches.  Operations are routed to the servers owning their keys and are
 the unit the per-server schedulers order.  A request completes when its
 last operation completes — the "max structure" that makes the scheduling
 problem the concurrent open shop problem.
+
+These dataclasses are declared with ``slots=True``: a load sweep creates
+millions of operations/responses per run, and dropping the per-instance
+``__dict__`` cuts both allocation time and peak memory on the simulator
+hot path (scheduler tags still live in the explicit ``tag`` dict).
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ class OpKind(enum.Enum):
     PUT = "put"
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """A single key-value access, scheduled on exactly one server.
 
@@ -83,7 +88,7 @@ class Operation:
         return self.finish_time - self.start_time
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """An end-user multiget request.
 
@@ -145,7 +150,7 @@ class Request:
         return max(per_server.values()) if per_server else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Feedback:
     """Server state piggybacked on every response.
 
@@ -163,7 +168,7 @@ class Feedback:
     timestamp: float
 
 
-@dataclass
+@dataclass(slots=True)
 class Response:
     """Completion message for one operation, sent server -> client."""
 

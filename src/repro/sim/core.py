@@ -7,6 +7,8 @@ from itertools import count
 from typing import Any, Generator, Optional
 
 from repro.sim.events import (
+    NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
     Event,
@@ -15,11 +17,12 @@ from repro.sim.events import (
     Timeout,
 )
 
-#: Scheduling priorities.  URGENT is used for already-triggered events
-#: (succeed/fail/interrupt) so they run before timeouts scheduled for the
-#: same instant; NORMAL is used for timeouts.
-URGENT = 0
-NORMAL = 1
+__all__ = [
+    "URGENT",
+    "NORMAL",
+    "EmptySchedule",
+    "Environment",
+]
 
 
 class EmptySchedule(Exception):
@@ -55,6 +58,7 @@ class Environment:
 
     @property
     def active_process_generator(self):
+        """The running process's generator (SimPy-compat convenience)."""
         proc = self._active_process
         return proc._generator if proc is not None else None
 
@@ -88,9 +92,12 @@ class Environment:
     # Scheduling and stepping
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = URGENT) -> None:
-        """Put a triggered event on the queue ``delay`` from now."""
-        if isinstance(event, Timeout):
-            priority = NORMAL
+        """Put a triggered event on the queue ``delay`` from now.
+
+        Callers pass the right priority themselves (:class:`Timeout`
+        schedules itself at NORMAL) — this method is the hottest function
+        in the simulator and does no classification of its own.
+        """
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
@@ -145,19 +152,33 @@ class Environment:
             stop_event.callbacks.append(_stop_callback)
             heapq.heappush(self._queue, (at, URGENT, -1, stop_event))
 
+        # Inlined event loop (rather than `while True: self.step()`): the
+        # loop body runs once per simulated event, so the method-call and
+        # attribute-lookup overhead of delegating to step() is measurable
+        # (~15% of kernel throughput, see benchmarks/bench_engine.py).
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                self.step()
+            while queue:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    # Nobody consumed the failure: surface it rather than
+                    # losing it.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            if stop_event is not None and not stop_event.triggered:
-                if isinstance(until, Event):
-                    raise RuntimeError(
-                        "simulation ran out of events before the awaited "
-                        f"event {until!r} triggered"
-                    ) from None
-            return None
+        if stop_event is not None and not stop_event.triggered:
+            if isinstance(until, Event):
+                raise RuntimeError(
+                    "simulation ran out of events before the awaited "
+                    f"event {until!r} triggered"
+                )
+        return None
 
     def run_until_idle(self) -> None:
         """Drain every remaining event (alias of ``run()`` with no bound)."""

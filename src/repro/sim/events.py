@@ -1,5 +1,14 @@
 """Event primitives for the simulation kernel.
 
+This module is the bottom of the simulator stack (`docs/architecture.md`
+§1): every simulated occurrence — a request arrival, a service completion,
+a network delivery — is an :class:`Event` scheduled on the
+:class:`~repro.sim.core.Environment` heap, so its cost bounds how many
+operations per second the experiment harness can simulate
+(``benchmarks/bench_engine.py`` tracks the number).  Event classes
+declare ``__slots__``: millions are created per run and the per-instance
+``__dict__`` they would otherwise carry dominates allocation cost.
+
 Events are one-shot: they start *pending*, become *triggered* exactly once
 (either succeeding with a value or failing with an exception), and are then
 *processed* by the environment, which runs their callbacks.  Processes are
@@ -16,6 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 #: Sentinel for "this event has not been given a value yet".
 PENDING = object()
+
+#: Scheduling priorities (re-exported by :mod:`repro.sim.core`).  URGENT is
+#: used for already-triggered events (succeed/fail/interrupt) so they run
+#: before timeouts scheduled for the same instant; NORMAL is used for
+#: timeouts.
+URGENT = 0
+NORMAL = 1
 
 
 class StopSimulation(Exception):
@@ -36,6 +52,7 @@ class Interrupt(Exception):
 
     @property
     def cause(self) -> Any:
+        """Whatever :meth:`Process.interrupt` was called with."""
         return self.args[0]
 
 
@@ -47,6 +64,8 @@ class Event:
     env:
         The environment this event belongs to.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -114,6 +133,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after its creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -121,22 +142,25 @@ class Timeout(Event):
         self._delay = float(delay)
         self._ok = True
         self._value = value
-        env._schedule(self, delay=self._delay)
+        env._schedule(self, delay=self._delay, priority=NORMAL)
 
     @property
     def delay(self) -> float:
+        """The delay this timeout was scheduled with."""
         return self._delay
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
         self._ok = True
         self._value = None
-        env._schedule(self, priority=0)
+        env._schedule(self, priority=URGENT)
 
 
 class Process(Event):
@@ -146,6 +170,8 @@ class Process(Event):
     (succeeding with the return value) or raises (failing with the
     exception).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -181,7 +207,7 @@ class Process(Event):
         event._value = Interrupt(cause)
         event.defused = True
         event.callbacks.append(self._resume)
-        self.env._schedule(event, priority=0)
+        self.env._schedule(event, priority=URGENT)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or error) of ``event``."""
@@ -240,6 +266,8 @@ class Process(Event):
 class Condition(Event):
     """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
 
+    __slots__ = ("_events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -258,6 +286,7 @@ class Condition(Event):
 
     @property
     def events(self) -> list[Event]:
+        """The events this condition waits on (copy)."""
         return list(self._events)
 
     def _collect(self) -> dict[Event, Any]:
@@ -283,12 +312,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every component event has succeeded."""
 
+    __slots__ = ()
+
     def _satisfied(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(Condition):
     """Triggers when at least one component event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self, count: int, total: int) -> bool:
         return count >= 1

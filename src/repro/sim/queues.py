@@ -9,6 +9,7 @@ models a server with fixed capacity (e.g. a CPU with ``capacity`` cores).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.sim.events import Event
@@ -20,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Event returned by :meth:`Store.put`; succeeds once the item is in."""
 
+    __slots__ = ("item",)
+
     def __init__(self, env: "Environment", item: Any):
         super().__init__(env)
         self.item = item
@@ -27,6 +30,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`; succeeds with the item."""
+
+    __slots__ = ()
 
 
 class Store:
@@ -45,9 +50,11 @@ class Store:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self._items: list[Any] = []
-        self._put_waiters: list[StorePut] = []
-        self._get_waiters: list[StoreGet] = []
+        # Deques, not lists: put/get consume from the left and a list's
+        # pop(0) is O(n) — quadratic once a store backs up.
+        self._items: deque[Any] = deque()
+        self._put_waiters: deque[StorePut] = deque()
+        self._get_waiters: deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -76,7 +83,7 @@ class Store:
         self._items.append(item)
 
     def _take_item(self) -> Any:
-        return self._items.pop(0)
+        return self._items.popleft()
 
     def _dispatch(self) -> None:
         """Match queued puts with free slots, then gets with items."""
@@ -84,12 +91,12 @@ class Store:
         while progressed:
             progressed = False
             if self._put_waiters and len(self._items) < self.capacity:
-                put = self._put_waiters.pop(0)
+                put = self._put_waiters.popleft()
                 self._store_item(put.item)
                 put.succeed()
                 progressed = True
             if self._get_waiters and self._items:
-                get = self._get_waiters.pop(0)
+                get = self._get_waiters.popleft()
                 get.succeed(self._take_item())
                 progressed = True
 
@@ -123,12 +130,12 @@ class PriorityStore(Store):
         while progressed:
             progressed = False
             if self._put_waiters and len(self._heap) < self.capacity:
-                put = self._put_waiters.pop(0)
+                put = self._put_waiters.popleft()
                 self._store_item(put.item)
                 put.succeed()
                 progressed = True
             if self._get_waiters and self._heap:
-                get = self._get_waiters.pop(0)
+                get = self._get_waiters.popleft()
                 get.succeed(self._take_item())
                 progressed = True
 
@@ -155,6 +162,8 @@ class PriorityItem:
 class ResourceRequest(Event):
     """Event returned by :meth:`Resource.request`; fires once granted."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, env: "Environment", resource: "Resource"):
         super().__init__(env)
         self.resource = resource
@@ -173,7 +182,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._users: list[ResourceRequest] = []
-        self._waiters: list[ResourceRequest] = []
+        self._waiters: deque[ResourceRequest] = deque()
 
     @property
     def count(self) -> int:
@@ -207,7 +216,7 @@ class Resource:
                 raise RuntimeError("release() of a request not held or queued") from None
             return
         if self._waiters and len(self._users) < self.capacity:
-            nxt = self._waiters.pop(0)
+            nxt = self._waiters.popleft()
             self._users.append(nxt)
             nxt.succeed()
 

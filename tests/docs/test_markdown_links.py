@@ -1,0 +1,70 @@
+"""Documentation checks: intra-repo markdown links must resolve.
+
+Scans every tracked markdown file at the repository root and under
+``docs/`` for inline links and verifies that relative targets exist on
+disk, so a renamed file or a typo'd path fails CI instead of shipping a
+dead link.  External (``http(s)://``, ``mailto:``) and pure-anchor
+(``#section``) targets are out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Inline markdown link: [text](target); target captured up to ) or space.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(REPO_ROOT.glob("docs/*.md"))
+    assert files, "no markdown files found — wrong repo root?"
+    return files
+
+
+def extract_links(path: Path):
+    """Yield (line_number, target) for inline links outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Drop inline code spans so `[x](y)` inside backticks is ignored.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK.finditer(stripped):
+            yield lineno, match.group(1)
+
+
+def is_internal(target: str) -> bool:
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return False
+    return True
+
+
+@pytest.mark.parametrize("md", markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(md):
+    broken = []
+    for lineno, target in extract_links(md):
+        if not is_internal(target):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(f"{md.name}:{lineno}: {target}")
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+def test_readme_links_both_guides():
+    """README must point readers at the experiments and benchmarking docs."""
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/experiments.md" in text
+    assert "docs/benchmarking.md" in text

@@ -1,0 +1,256 @@
+"""Tests for the parallel experiment engine (determinism, checkpoint/resume)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.parallel import (
+    CellTask,
+    EngineProgress,
+    cell_fingerprint,
+    cell_from_jsonable,
+    cell_tasks,
+    cell_to_jsonable,
+    checkpoint_path,
+    derive_seed,
+    run_scenario_parallel,
+)
+from repro.experiments.report import format_scenario_table
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import (
+    RunPoint,
+    Scenario,
+    SchedulerSpec,
+)
+from repro.kvstore.config import SimulationConfig
+from repro.obs import MetricsRegistry
+
+from tests.conftest import small_config
+
+
+def tiny_scenario():
+    points = tuple(
+        RunPoint(
+            x=load,
+            config=small_config(load=load),
+            sim=SimulationConfig(max_requests=150),
+        )
+        for load in (0.3, 0.6)
+    )
+    return Scenario(
+        experiment_id="TP1",
+        title="tiny parallel test scenario",
+        x_label="load",
+        metric="mean",
+        points=points,
+        schedulers=(
+            SchedulerSpec("FCFS", "fcfs"),
+            SchedulerSpec("DAS", "das"),
+        ),
+        notes="test only",
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return run_scenario(tiny_scenario())
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 3, 7) == derive_seed(42, 3, 7)
+
+    def test_sensitive_to_key_and_root(self):
+        seeds = {
+            derive_seed(42, 0),
+            derive_seed(42, 1),
+            derive_seed(43, 0),
+            derive_seed(42, 0, 0),
+        }
+        assert len(seeds) == 4
+
+    def test_non_negative_int(self):
+        for i in range(16):
+            seed = derive_seed(42, i)
+            assert isinstance(seed, int)
+            assert seed >= 0
+
+
+class TestCellTasks:
+    def test_grid_expansion_order(self):
+        tasks = cell_tasks(tiny_scenario())
+        assert [(t.point_index, t.scheduler_index) for t in tasks] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_default_keeps_scenario_seeds(self):
+        scenario = tiny_scenario()
+        tasks = cell_tasks(scenario)
+        assert all(
+            t.point.config.seed == scenario.points[t.point_index].config.seed
+            for t in tasks
+        )
+
+    def test_reseed_points_derives_per_point_paired_seeds(self):
+        scenario = tiny_scenario()
+        tasks = cell_tasks(scenario, reseed_points=True)
+        seeds_by_point = {}
+        for t in tasks:
+            seeds_by_point.setdefault(t.point_index, set()).add(t.point.config.seed)
+        # Schedulers at the same point stay paired (same workload seed) ...
+        assert all(len(seeds) == 1 for seeds in seeds_by_point.values())
+        # ... while distinct points get distinct derived seeds.
+        flat = {seeds.pop() for seeds in seeds_by_point.values()}
+        assert len(flat) == len(scenario.points)
+        # And the derivation is identity-based, hence repeatable.
+        again = cell_tasks(scenario, reseed_points=True)
+        assert [t.point.config.seed for t in again] == [
+            t.point.config.seed
+            for t in cell_tasks(tiny_scenario(), reseed_points=True)
+        ]
+
+
+class TestDeterminism:
+    def test_parallel_matches_sequential(self, sequential_result):
+        parallel = run_scenario_parallel(tiny_scenario(), workers=4)
+        assert set(parallel.cells) == set(sequential_result.cells)
+        for key, seq_cell in sequential_result.cells.items():
+            par_cell = parallel.cells[key]
+            assert par_cell.summary == seq_cell.summary
+            assert par_cell.mean_slowdown == seq_cell.mean_slowdown
+            assert par_cell.p99_slowdown == seq_cell.p99_slowdown
+            assert par_cell.requests == seq_cell.requests
+            assert par_cell.metrics == seq_cell.metrics
+            assert par_cell.traces == seq_cell.traces
+
+    def test_single_worker_matches_sequential(self, sequential_result):
+        inline = run_scenario_parallel(tiny_scenario(), workers=1)
+        for key, seq_cell in sequential_result.cells.items():
+            assert inline.cells[key].summary == seq_cell.summary
+
+    def test_report_table_identical(self, sequential_result):
+        parallel = run_scenario_parallel(tiny_scenario(), workers=2)
+        assert format_scenario_table(parallel) == format_scenario_table(
+            sequential_result
+        )
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigError):
+            run_scenario_parallel(tiny_scenario(), workers=0)
+
+
+class TestCheckpointResume:
+    def test_checkpoints_written(self, tmp_path, sequential_result):
+        scenario = tiny_scenario()
+        run_scenario_parallel(scenario, workers=1, checkpoint_dir=tmp_path)
+        files = sorted(p.name for p in (tmp_path / "TP1").glob("*.json"))
+        assert files == [
+            "p000_s00_FCFS.json",
+            "p000_s01_DAS.json",
+            "p001_s00_FCFS.json",
+            "p001_s01_DAS.json",
+        ]
+
+    def test_resume_skips_completed_cells(self, tmp_path, sequential_result):
+        scenario = tiny_scenario()
+        run_scenario_parallel(scenario, workers=1, checkpoint_dir=tmp_path)
+
+        registry = MetricsRegistry()
+        resumed = run_scenario_parallel(
+            tiny_scenario(), workers=1, checkpoint_dir=tmp_path, registry=registry
+        )
+        assert registry.value("engine_cells_resumed_total") == 4
+        assert registry.value("engine_cells_completed_total") == 4
+        for key, seq_cell in sequential_result.cells.items():
+            assert resumed.cells[key].summary == seq_cell.summary
+        assert format_scenario_table(resumed) == format_scenario_table(
+            sequential_result
+        )
+
+    def test_no_resume_reruns(self, tmp_path):
+        scenario = tiny_scenario()
+        run_scenario_parallel(scenario, workers=1, checkpoint_dir=tmp_path)
+        registry = MetricsRegistry()
+        run_scenario_parallel(
+            tiny_scenario(),
+            workers=1,
+            checkpoint_dir=tmp_path,
+            resume=False,
+            registry=registry,
+        )
+        assert registry.value("engine_cells_resumed_total") == 0
+
+    def test_changed_config_invalidates_checkpoint(self, tmp_path):
+        run_scenario_parallel(tiny_scenario(), workers=1, checkpoint_dir=tmp_path)
+
+        changed = tiny_scenario()
+        points = tuple(
+            RunPoint(x=p.x, config=p.config, sim=SimulationConfig(max_requests=120))
+            for p in changed.points
+        )
+        changed = Scenario(
+            experiment_id=changed.experiment_id,
+            title=changed.title,
+            x_label=changed.x_label,
+            metric=changed.metric,
+            points=points,
+            schedulers=changed.schedulers,
+            notes=changed.notes,
+        )
+        registry = MetricsRegistry()
+        run_scenario_parallel(
+            changed, workers=1, checkpoint_dir=tmp_path, registry=registry
+        )
+        assert registry.value("engine_cells_resumed_total") == 0
+
+    def test_corrupt_checkpoint_ignored(self, tmp_path):
+        scenario = tiny_scenario()
+        run_scenario_parallel(scenario, workers=1, checkpoint_dir=tmp_path)
+        task = cell_tasks(scenario)[0]
+        path = checkpoint_path(tmp_path, scenario, task)
+        path.write_text("{not json", encoding="utf-8")
+        registry = MetricsRegistry()
+        run_scenario_parallel(
+            tiny_scenario(), workers=1, checkpoint_dir=tmp_path, registry=registry
+        )
+        assert registry.value("engine_cells_resumed_total") == 3
+
+    def test_cell_roundtrip(self, sequential_result):
+        cell = next(iter(sequential_result.cells.values()))
+        data = json.loads(json.dumps(cell_to_jsonable(cell), default=str))
+        back = cell_from_jsonable(data, cell.x)
+        assert back.summary == cell.summary
+        assert back.x == cell.x
+        assert back.metrics == cell.metrics
+
+    def test_fingerprint_tracks_config(self):
+        scenario = tiny_scenario()
+        a, b = cell_tasks(scenario)[:2]
+        assert cell_fingerprint(a) != cell_fingerprint(b)
+        again = cell_tasks(tiny_scenario())[0]
+        assert cell_fingerprint(a) == cell_fingerprint(again)
+
+
+class TestEngineProgress:
+    def test_metrics_and_line(self):
+        registry = MetricsRegistry()
+        progress = EngineProgress(registry, total=4, workers=2)
+        assert registry.value("engine_cells_total") == 4
+        assert registry.value("engine_workers") == 2
+        progress.mark()
+        progress.mark(resumed=True)
+        line = progress.line("TP1", "done point=0.3 scheduler=DAS")
+        assert line.startswith("[TP1] 2/4 cells")
+        assert "1 resumed" in line
+        assert "done point=0.3 scheduler=DAS" in line
+        assert registry.value("engine_cells_completed_total") == 2
+        assert registry.value("engine_cells_resumed_total") == 1
+        assert registry.value("engine_cells_per_second") >= 0
+
+
+class TestTaskLabel:
+    def test_label_mentions_coordinates(self):
+        task = cell_tasks(tiny_scenario())[1]
+        assert isinstance(task, CellTask)
+        assert task.label == "point=0.3 scheduler=DAS"
