@@ -97,7 +97,7 @@ class Client:
                 break  # trace exhausted
             if self.end_time is not None and env.now + gap > self.end_time:
                 break
-            yield env.timeout(gap)
+            yield env.pooled_timeout(gap)
             self._dispatch(self._build_request())
         self.generation_done = True
         if self._on_finished is not None:
@@ -159,7 +159,7 @@ class Client:
     def _arm_timeout(self, op: Operation) -> None:
         key = (op.request_id, op.index)
         attempt = self._attempts[key]
-        timer = self.env.timeout(self.op_timeout)
+        timer = self.env.pooled_timeout(self.op_timeout)
         timer.callbacks.append(
             lambda _event: self._on_op_timeout(op, attempt)
         )

@@ -169,13 +169,21 @@ class Cluster:
         )
 
     def _preload_storage(self) -> None:
-        """Populate every server with the keys it owns (all replicas)."""
+        """Populate every server with the keys it owns (all replicas).
+
+        Also warms the keyspace name table and the ring's preference-list
+        cache with exactly the ``(key, n)`` pairs clients will look up.
+        """
         n = self.config.replication_factor
-        for idx in range(self.keyspace.size):
-            key = self.keyspace.key_name(idx)
-            size = self.keyspace.value_size(idx)
-            for sid in self.ring.preference_list(key, n):
-                self.servers[sid].storage.put(key, size, now=0.0)
+        keys = self.keyspace.key_names(range(self.keyspace.size))
+        sizes = self.keyspace.value_sizes.tolist()
+        pref = self.ring.preference_list
+        per_server: Dict[int, list] = {sid: [] for sid in self.servers}
+        for key, size in zip(keys, sizes):
+            for sid in pref(key, n):
+                per_server[sid].append((key, size))
+        for sid, items in per_server.items():
+            self.servers[sid].storage.bulk_put(items, now=0.0)
 
     def _build_client(self, cid: int) -> Client:
         cfg = self.config

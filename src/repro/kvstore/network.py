@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.sim.core import Environment
+from repro.sim.rand import as_batched
 
 Handler = Callable[[Any], None]
 
@@ -62,7 +63,9 @@ class NetworkModel:
             ev.callbacks.append(lambda _e: handler(payload))
             ev.succeed()
         else:
-            timeout = self.env.timeout(d)
+            # Pooled: delivery timeouts are the single hottest event type
+            # and nothing retains them past the callback.
+            timeout = self.env.pooled_timeout(d)
             timeout.callbacks.append(lambda _e: handler(payload))
         return d
 
@@ -96,12 +99,12 @@ class UniformLatencyNetwork(NetworkModel):
             raise ConfigError("jitter requires an rng")
         self.base_delay = base_delay
         self.jitter_mean = jitter_mean
-        self._rng = rng
+        self._rng = as_batched(rng) if rng is not None else None
 
     def delay(self, src: Hashable, dst: Hashable) -> float:
         d = self.base_delay
         if self.jitter_mean > 0:
-            d += float(self._rng.exponential(self.jitter_mean))
+            d += self._rng.exponential(self.jitter_mean)
         return d
 
 
@@ -127,7 +130,7 @@ class TopologyNetwork(NetworkModel):
             raise ConfigError("jitter requires an rng")
         self.graph = graph
         self.jitter_mean = jitter_mean
-        self._rng = rng
+        self._rng = as_batched(rng) if rng is not None else None
         self._dists: Dict[Hashable, Dict[Hashable, float]] = {}
 
     def _distances_from(self, src: Hashable) -> Dict[Hashable, float]:
@@ -150,7 +153,7 @@ class TopologyNetwork(NetworkModel):
         except KeyError:
             raise ConfigError(f"no path from {src!r} to {dst!r}") from None
         if self.jitter_mean > 0:
-            d += float(self._rng.exponential(self.jitter_mean))
+            d += self._rng.exponential(self.jitter_mean)
         return d
 
 

@@ -49,6 +49,14 @@ class ConsistentHashRing:
         self._points: List[int] = []
         self._owners: Dict[int, int] = {}
         self._servers: List[int] = sorted(server_list)
+        #: (key, n) -> preference list.  The ring is static for the length
+        #: of a run, the key population is fixed, and the walk is pure, so
+        #: caching is exact; membership changes invalidate it.  The walk
+        #: itself only depends on the ring *slot* a key hashes into, so a
+        #: second cache keyed by (slot, n) bounds the number of walks by
+        #: the number of ring points regardless of keyspace size.
+        self._pref_cache: Dict[tuple, List[int]] = {}
+        self._slot_pref_cache: Dict[tuple, List[int]] = {}
         for sid in self._servers:
             self._add_points(sid)
 
@@ -79,6 +87,8 @@ class ConsistentHashRing:
             raise PartitioningError(f"server {server_id} already on ring")
         bisect.insort(self._servers, server_id)
         self._add_points(server_id)
+        self._pref_cache.clear()
+        self._slot_pref_cache.clear()
 
     def remove_server(self, server_id: int) -> None:
         if server_id not in self._servers:
@@ -87,6 +97,8 @@ class ConsistentHashRing:
             raise PartitioningError("cannot remove the last server")
         self._servers.remove(server_id)
         self._remove_points(server_id)
+        self._pref_cache.clear()
+        self._slot_pref_cache.clear()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -103,7 +115,14 @@ class ConsistentHashRing:
         """The first ``n`` *distinct* servers clockwise from the key.
 
         This is the replica placement walk used by Dynamo-style stores.
+        Results are cached per ``(key, n)`` for the life of the membership
+        (every operation on a key repeats the same walk); callers must not
+        mutate the returned list.
         """
+        cache_key = (key, n)
+        cached = self._pref_cache.get(cache_key)
+        if cached is not None:
+            return cached
         if n < 1:
             raise PartitioningError("preference list length must be >= 1")
         if n > len(self._servers):
@@ -112,17 +131,26 @@ class ConsistentHashRing:
             )
         point = stable_hash(key)
         idx = bisect.bisect_right(self._points, point)
-        result: List[int] = []
-        seen = set()
-        for step in range(len(self._points)):
-            ring_idx = (idx + step) % len(self._points)
-            sid = self._owners[self._points[ring_idx]]
-            if sid not in seen:
-                seen.add(sid)
-                result.append(sid)
-                if len(result) == n:
-                    return result
-        raise PartitioningError("ring walk failed to find enough distinct servers")
+        slot_key = (idx, n)
+        result = self._slot_pref_cache.get(slot_key)
+        if result is None:
+            result = []
+            seen = set()
+            for step in range(len(self._points)):
+                ring_idx = (idx + step) % len(self._points)
+                sid = self._owners[self._points[ring_idx]]
+                if sid not in seen:
+                    seen.add(sid)
+                    result.append(sid)
+                    if len(result) == n:
+                        break
+            if len(result) < n:
+                raise PartitioningError(
+                    "ring walk failed to find enough distinct servers"
+                )
+            self._slot_pref_cache[slot_key] = result
+        self._pref_cache[cache_key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.kvstore.partitioning import ConsistentHashRing
+from repro.sim.rand import as_batched
 
 SelectionFn = Callable[[List[int]], int]
 
@@ -71,9 +72,11 @@ class ReplicaPlacement:
         self.ring = ring
         self.replication_factor = replication_factor
         self.selection = selection
-        self._rng = rng
+        self._rng = as_batched(rng) if rng is not None else None
         self._work_estimate = work_estimate
         self._rr_counters: Dict[str, int] = {}
+        # With one replica every policy degenerates to "first (only) entry".
+        self._primary_reads = selection == "primary" or replication_factor == 1
 
     def replicas(self, key: str) -> List[int]:
         """The full replica set for ``key`` (primary first)."""
@@ -81,15 +84,19 @@ class ReplicaPlacement:
 
     def select_read_replica(self, key: str) -> int:
         """Choose the server that will serve a GET for ``key``."""
+        if self._primary_reads:
+            # Primary-only reads (the paper default) are the hot path:
+            # skip the replica-set indirection entirely.
+            return self.ring.preference_list(key, self.replication_factor)[0]
         candidates = self.replicas(key)
-        if len(candidates) == 1 or self.selection == "primary":
+        if len(candidates) == 1:
             return candidates[0]
         if self.selection == "round_robin":
             counter = self._rr_counters.get(key, 0)
             self._rr_counters[key] = counter + 1
             return candidates[counter % len(candidates)]
         if self.selection == "random":
-            return candidates[int(self._rng.integers(0, len(candidates)))]
+            return candidates[self._rng.integers(0, len(candidates))]
         # least_estimated_work
         return min(candidates, key=lambda sid: (self._work_estimate(sid), sid))
 

@@ -81,6 +81,8 @@ class Server:
     # ------------------------------------------------------------------
     def _outage_end(self, now: float) -> Optional[float]:
         """End of the outage covering ``now``, or None when up."""
+        if not self.outages:
+            return None
         for start, end in self.outages:
             if start <= now < end:
                 return end
@@ -93,7 +95,7 @@ class Server:
         while True:
             outage_end = self._outage_end(env.now)
             if outage_end is not None:
-                yield env.timeout(outage_end - env.now)
+                yield env.pooled_timeout(outage_end - env.now)
                 continue
             if len(self.queue) == 0:
                 self._wakeup = env.event()
@@ -105,7 +107,7 @@ class Server:
             ok, size = self._execute(op)
             service_time = self.service.sample_service_time(size, env.now)
             self._current_finish = env.now + service_time
-            yield env.timeout(service_time)
+            yield env.pooled_timeout(service_time)
             op.finish_time = env.now
             self._current_finish = None
             self.busy_time += service_time
@@ -217,7 +219,7 @@ def make_periodic_broadcaster(
 
     def _broadcast():
         while True:
-            yield env.timeout(interval)
+            yield env.pooled_timeout(interval)
             deliver(server.make_feedback())
 
     return _broadcast()

@@ -13,12 +13,14 @@ noise models OS jitter.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.sim.rand import as_batched
 
 
 @dataclass(frozen=True)
@@ -83,7 +85,7 @@ class ServiceModel:
         self.byte_rate = byte_rate
         self.base_speed = base_speed
         self.noise_cv = noise_cv
-        self._rng = rng
+        self._rng = as_batched(rng) if rng is not None else None
         events = sorted(degradations or [], key=lambda e: e.time)
         self._deg_times = [e.time for e in events]
         self._deg_factors = [e.factor for e in events]
@@ -91,6 +93,7 @@ class ServiceModel:
             # Lognormal with mean 1 and the requested CV.
             self._sigma2 = float(np.log(1.0 + noise_cv**2))
             self._mu = -self._sigma2 / 2.0
+            self._sigma = self._sigma2**0.5
 
     # ------------------------------------------------------------------
     def demand(self, value_size: int) -> float:
@@ -102,9 +105,9 @@ class ServiceModel:
     def speed_factor(self, now: float) -> float:
         """Current speed multiplier (base heterogeneity × degradation)."""
         factor = self.base_speed
+        if not self._deg_times:
+            return factor
         # Find the last degradation event at or before `now`.
-        import bisect
-
         idx = bisect.bisect_right(self._deg_times, now) - 1
         if idx >= 0:
             factor *= self._deg_factors[idx]
@@ -114,7 +117,7 @@ class ServiceModel:
         """Actual service time for an operation starting at ``now``."""
         base = self.demand(value_size) / self.speed_factor(now)
         if self.noise_cv > 0:
-            base *= float(self._rng.lognormal(self._mu, self._sigma2**0.5))
+            base *= self._rng.lognormal(self._mu, self._sigma)
         return base
 
     def rate_sample(self, demand: float, actual: float) -> float:
@@ -125,8 +128,6 @@ class ServiceModel:
 
     def next_change_after(self, now: float) -> float:
         """Time of the next scheduled speed change, or inf."""
-        import bisect
-
         idx = bisect.bisect_right(self._deg_times, now)
         if idx < len(self._deg_times):
             return self._deg_times[idx]

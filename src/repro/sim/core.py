@@ -37,11 +37,23 @@ class Environment:
     priority class, which makes runs fully deterministic.
     """
 
+    #: Free-list bounds: enough to absorb every in-flight pooled object of
+    #: a large cell without pinning unbounded garbage after a burst.
+    _TIMEOUT_POOL_MAX = 4096
+    _CB_POOL_MAX = 8192
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Free lists (see :meth:`pooled_timeout`): recycled Timeout
+        #: objects and recycled callback lists.  ``_cb_pool`` must exist
+        #: before any Event is constructed — Event.__init__ reads it.
+        self._cb_pool: list[list] = []
+        self._timeout_pool: list[Timeout] = []
+        self.timeout_pool_hits = 0
+        self.timeout_pool_misses = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -75,6 +87,48 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` recycled through a free list after it fires.
+
+        Identical semantics to :meth:`timeout` up to the firing, after
+        which the object is returned to the pool and later reused —
+        callers must not retain a reference past the callbacks (internal
+        hot paths: network delivery, service waits, interarrival gaps, op
+        timers).  Wrapping one in :class:`AllOf`/:class:`AnyOf` is safe:
+        conditions pin their members.  Event allocation is a measurable
+        slice of kernel time (see ``BENCH_engine.json``'s ``sampling``
+        section for the hit rate), which is the whole point.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            self.timeout_pool_hits += 1
+            t = pool.pop()
+            t._delay = float(delay)
+            t._ok = True
+            t._value = value
+            t.defused = False
+            t._recyclable = True
+            cb_pool = self._cb_pool
+            t.callbacks = cb_pool.pop() if cb_pool else []
+            self._schedule(t, delay=t._delay, priority=NORMAL)
+            return t
+        self.timeout_pool_misses += 1
+        t = Timeout(self, delay, value)
+        t._recyclable = True
+        return t
+
+    def pool_stats(self) -> dict:
+        """Free-list counters: hits, misses, and the resulting hit rate."""
+        hits, misses = self.timeout_pool_hits, self.timeout_pool_misses
+        total = hits + misses
+        return {
+            "timeout_pool_hits": hits,
+            "timeout_pool_misses": misses,
+            "timeout_pool_hit_rate": hits / total if total else 0.0,
+        }
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from ``generator``."""
@@ -118,6 +172,20 @@ class Environment:
             # Nobody consumed the failure: surface it rather than losing it.
             exc = event._value
             raise exc
+        self._recycle(event, callbacks)
+
+    def _recycle(self, event: Event, callbacks: list) -> None:
+        """Return a processed event's dead carcass to the free lists."""
+        callbacks.clear()
+        if len(self._cb_pool) < self._CB_POOL_MAX:
+            self._cb_pool.append(callbacks)
+        if (
+            type(event) is Timeout
+            and event._recyclable
+            and len(self._timeout_pool) < self._TIMEOUT_POOL_MAX
+        ):
+            event._value = None  # drop the payload reference while pooled
+            self._timeout_pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -158,6 +226,10 @@ class Environment:
         # (~15% of kernel throughput, see benchmarks/bench_engine.py).
         queue = self._queue
         pop = heapq.heappop
+        cb_pool = self._cb_pool
+        timeout_pool = self._timeout_pool
+        cb_pool_max = self._CB_POOL_MAX
+        timeout_pool_max = self._TIMEOUT_POOL_MAX
         try:
             while queue:
                 when, _, _, event = pop(queue)
@@ -170,6 +242,17 @@ class Environment:
                     # Nobody consumed the failure: surface it rather than
                     # losing it.
                     raise event._value
+                # Inlined _recycle (same reasoning as inlining the loop).
+                callbacks.clear()
+                if len(cb_pool) < cb_pool_max:
+                    cb_pool.append(callbacks)
+                if (
+                    type(event) is Timeout
+                    and event._recyclable
+                    and len(timeout_pool) < timeout_pool_max
+                ):
+                    event._value = None
+                    timeout_pool.append(event)
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None and not stop_event.triggered:

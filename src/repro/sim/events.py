@@ -69,7 +69,13 @@ class Event:
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # Callback lists are recycled by the environment after processing
+        # (every event allocates one and drops it within a few events of
+        # its creation — a textbook free-list case).
+        cb_pool = env._cb_pool
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = (
+            cb_pool.pop() if cb_pool else []
+        )
         self._value: Any = PENDING
         self._ok: bool = True
         #: Set to True once a process (or ``run(until=...)``) consumed a
@@ -131,9 +137,18 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after its creation."""
+    """An event that fires ``delay`` time units after its creation.
 
-    __slots__ = ("_delay",)
+    Timeouts created via :meth:`Environment.pooled_timeout` are marked
+    recyclable: the environment returns them to a free list right after
+    their callbacks run (timeouts are single-shot, so the object is dead
+    at that point) and hands the same object out again later.  Holding a
+    reference to a recyclable timeout past its firing is therefore
+    undefined; the plain :meth:`Environment.timeout` factory never
+    recycles.
+    """
+
+    __slots__ = ("_delay", "_recyclable")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -142,6 +157,7 @@ class Timeout(Event):
         self._delay = float(delay)
         self._ok = True
         self._value = value
+        self._recyclable = False
         env._schedule(self, delay=self._delay, priority=NORMAL)
 
     @property
@@ -276,6 +292,11 @@ class Condition(Event):
             if event.env is not env:
                 raise ValueError("cannot mix events from different environments")
         for event in self._events:
+            # Pin pooled timeouts: _collect reads member values after they
+            # are processed, so a recycled (reused) member would corrupt
+            # the condition's result.
+            if isinstance(event, Timeout):
+                event._recyclable = False
             if event.callbacks is None:
                 self._check(event)
             else:

@@ -181,7 +181,10 @@ class Resource:
             raise ValueError("capacity must be >= 1")
         self.env = env
         self.capacity = capacity
-        self._users: list[ResourceRequest] = []
+        # Keyed by object identity: release() must be O(1), not an O(n)
+        # list scan (requests are unhashable-by-value anyway — they are
+        # events, identity is the right notion).
+        self._users: dict[int, ResourceRequest] = {}
         self._waiters: deque[ResourceRequest] = deque()
 
     @property
@@ -194,11 +197,16 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiters)
 
+    @property
+    def users(self) -> list[ResourceRequest]:
+        """Snapshot of the requests currently holding a slot (grant order)."""
+        return list(self._users.values())
+
     def request(self) -> ResourceRequest:
         """Ask for a slot; the returned event fires when granted."""
         req = ResourceRequest(self.env, self)
         if len(self._users) < self.capacity:
-            self._users.append(req)
+            self._users[id(req)] = req
             req.succeed()
         else:
             self._waiters.append(req)
@@ -206,9 +214,7 @@ class Resource:
 
     def release(self, request: ResourceRequest) -> None:
         """Return a previously granted slot, waking the next waiter."""
-        try:
-            self._users.remove(request)
-        except ValueError:
+        if self._users.pop(id(request), None) is None:
             # Request was still waiting: cancel it instead.
             try:
                 self._waiters.remove(request)
@@ -217,7 +223,7 @@ class Resource:
             return
         if self._waiters and len(self._users) < self.capacity:
             nxt = self._waiters.popleft()
-            self._users.append(nxt)
+            self._users[id(nxt)] = nxt
             nxt.succeed()
 
 

@@ -13,6 +13,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rand import as_batched
 
 
 class ArrivalSampler:
@@ -62,11 +63,11 @@ class PoissonArrivals(ArrivalSpec):
 
 class _PoissonSampler(ArrivalSampler):
     def __init__(self, rate: float, rng: np.random.Generator):
-        self._rate = rate
-        self._rng = rng
+        self._scale = 1.0 / rate
+        self._rng = as_batched(rng)
 
     def next_interarrival(self, now: float) -> float:
-        return float(self._rng.exponential(1.0 / self._rate))
+        return self._rng.exponential(self._scale)
 
 
 # ----------------------------------------------------------------------
@@ -150,9 +151,12 @@ class _MMPPSampler(ArrivalSampler):
     ):
         self._rates = list(rates)
         self._dwells = list(dwell_means)
-        self._rng = rng
+        # Batched: every exponential (any scale) serves from one shared
+        # standard-exponential lane, so the sequence is bit-identical to
+        # the scalar draws even as the state (and scale) changes.
+        self._rng = as_batched(rng)
         self._state = 0
-        self._state_until = float(self._rng.exponential(self._dwells[0]))
+        self._state_until = self._rng.exponential(self._dwells[0])
 
     @property
     def state(self) -> int:
@@ -168,16 +172,14 @@ class _MMPPSampler(ArrivalSampler):
         t = now
         gap = 0.0
         while True:
-            candidate = float(self._rng.exponential(1.0 / self._rates[self._state]))
+            candidate = self._rng.exponential(1.0 / self._rates[self._state])
             if t + candidate <= self._state_until:
                 return gap + candidate
             # Advance to the state switch and redraw in the new state.
             gap += self._state_until - t
             t = self._state_until
             self._state = (self._state + 1) % len(self._rates)
-            self._state_until = t + float(
-                self._rng.exponential(self._dwells[self._state])
-            )
+            self._state_until = t + self._rng.exponential(self._dwells[self._state])
 
 
 # ----------------------------------------------------------------------
@@ -290,6 +292,11 @@ class _SinusoidalSampler(ArrivalSampler):
     def next_interarrival(self, now: float) -> float:
         # Ogata thinning: candidate gaps at the peak rate, accepted with
         # probability rate(t)/peak.
+        #
+        # SCALAR FALLBACK (no BatchedStream): thinning interleaves
+        # exponential and uniform draws on one stream, so prefetching
+        # either lane would consume the bit stream in a different order
+        # than these scalar calls and silently change the sequence.
         t = now
         while True:
             t += float(self._rng.exponential(1.0 / self._peak))

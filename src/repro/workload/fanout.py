@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rand import as_batched
 
 
 class FanoutSampler:
@@ -86,10 +87,10 @@ class _UniformFanoutSampler(FanoutSampler):
     def __init__(self, lo: int, hi: int, rng: np.random.Generator):
         self._lo = lo
         self._hi = hi
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
-        return int(self._rng.integers(self._lo, self._hi + 1))
+        return self._rng.integers(self._lo, self._hi + 1)
 
 
 @dataclass(frozen=True)
@@ -132,11 +133,11 @@ class _GeometricSampler(FanoutSampler):
     def __init__(self, p: float, cap: int, rng: np.random.Generator):
         self._p = p
         self._cap = cap
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
         # numpy's geometric is supported on {1, 2, ...} already.
-        return min(int(self._rng.geometric(self._p)), self._cap)
+        return min(self._rng.geometric(self._p), self._cap)
 
 
 @dataclass(frozen=True)
@@ -174,7 +175,7 @@ class _BimodalSampler(FanoutSampler):
         self._small = small
         self._large = large
         self._p_large = p_large
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
         return self._large if self._rng.random() < self._p_large else self._small

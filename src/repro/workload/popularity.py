@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rand import as_batched
 
 
 class PopularitySampler:
@@ -49,12 +50,15 @@ class PopularitySampler:
             if guard > limit:
                 # Extremely skewed distribution: fill the remainder from
                 # the least-popular tail deterministically rather than loop.
-                for idx in range(self.keyspace_size):
-                    if idx not in seen:
-                        seen.add(idx)
-                        chosen.append(idx)
-                        if len(chosen) == n:
-                            break
+                # (Guarded on len < n: filling an already-complete draw
+                # would overshoot past the == n check below.)
+                if len(chosen) < n:
+                    for idx in range(self.keyspace_size):
+                        if idx not in seen:
+                            seen.add(idx)
+                            chosen.append(idx)
+                            if len(chosen) == n:
+                                break
                 break
         return np.asarray(chosen, dtype=np.int64)
 
@@ -75,6 +79,9 @@ class UniformPopularity(PopularitySpec):
 
 
 class _UniformSampler(PopularitySampler):
+    # SCALAR FALLBACK (no BatchedStream): sample_distinct delegates to
+    # numpy's without-replacement ``choice``, whose bit-stream consumption
+    # has no scalar-loop equivalent to stay identical to.
     def sample_one(self) -> int:
         return int(self._rng.integers(0, self.keyspace_size))
 
@@ -117,14 +124,61 @@ class _ZipfSampler(PopularitySampler):
         self._cum = np.cumsum(weights / weights.sum())
         self._cum[-1] = 1.0  # guard against floating-point shortfall
         if shuffle:
+            # One-time permutation on the raw generator, *before* the
+            # batched wrapper prefetches anything from the stream.
             self._perm = rng.permutation(keyspace_size)
         else:
             self._perm = np.arange(keyspace_size)
+        self._bstream = as_batched(rng)
 
     def sample_one(self) -> int:
-        u = self._rng.random()
+        u = self._bstream.random()
         rank = int(np.searchsorted(self._cum, u, side="left"))
         return int(self._perm[min(rank, self.keyspace_size - 1)])
+
+    def sample_distinct(self, n: int) -> np.ndarray:
+        """Vectorized rejection sampling, draw-for-draw equal to the base.
+
+        Each round draws exactly as many uniforms as keys still missing
+        (capped by the remaining rejection budget), maps them through one
+        ``searchsorted``, and accepts new indices in draw order — the
+        uniform consumption, acceptance decisions, and tail-fill fallback
+        are identical to the scalar loop in
+        :meth:`PopularitySampler.sample_distinct`.
+        """
+        if n > self.keyspace_size:
+            raise WorkloadError(
+                f"cannot draw {n} distinct keys from a keyspace of "
+                f"{self.keyspace_size}"
+            )
+        chosen: list[int] = []
+        seen: set[int] = set()
+        guard = 0
+        limit = 1000 * n + 1000
+        last = self.keyspace_size - 1
+        while len(chosen) < n:
+            take = min(n - len(chosen), limit - guard + 1)
+            us = self._bstream.random_block(take)
+            ranks = np.searchsorted(self._cum, us, side="left")
+            np.minimum(ranks, last, out=ranks)
+            for idx in self._perm[ranks]:
+                idx = int(idx)
+                if idx not in seen:
+                    seen.add(idx)
+                    chosen.append(idx)
+            guard += take
+            if guard > limit and len(chosen) < n:
+                # Extremely skewed distribution: fill the remainder from
+                # the least-popular tail deterministically (same fallback
+                # as the scalar path).
+                for idx in range(self.keyspace_size):
+                    if idx not in seen:
+                        seen.add(idx)
+                        chosen.append(idx)
+                        if len(chosen) == n:
+                            break
+                break
+        return np.asarray(chosen, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -167,6 +221,10 @@ class _HotspotSampler(PopularitySampler):
         self._perm = rng.permutation(keyspace_size)
 
     def sample_one(self) -> int:
+        # SCALAR FALLBACK (no BatchedStream): each draw interleaves a
+        # uniform with one of two differently-bounded integer draws on one
+        # stream; per-lane prefetching would consume the bit stream in a
+        # different order than these scalar calls and change the sequence.
         if self._rng.random() < self._hot_probability:
             raw = int(self._rng.integers(0, self._hot_count))
         else:

@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rand import as_batched
 from repro.workload.arrivals import ArrivalSpec
 from repro.workload.fanout import FanoutSpec
 from repro.workload.popularity import PopularitySpec
@@ -46,14 +47,26 @@ class Keyspace:
         self.size = size
         self.prefix = prefix
         sampler = size_spec.build(rng)
-        self.value_sizes = np.asarray(
-            [sampler.sample() for _ in range(size)], dtype=np.int64
-        )
+        self.value_sizes = np.asarray(sampler.sample_block(size), dtype=np.int64)
+        self._names: Optional[List[str]] = None
 
     def key_name(self, index: int) -> str:
         if not 0 <= index < self.size:
             raise WorkloadError(f"key index {index} out of range [0, {self.size})")
         return f"{self.prefix}{index:010d}"
+
+    def key_names(self, indices) -> List[str]:
+        """Key names for an index array, via a lazily built name cache.
+
+        Formatting key names dominates descriptor generation once draws
+        are batched, so the full name table is materialized on first use
+        and shared by every request.
+        """
+        names = self._names
+        if names is None:
+            prefix = self.prefix
+            names = self._names = [f"{prefix}{i:010d}" for i in range(self.size)]
+        return [names[i] for i in indices]
 
     def value_size(self, index: int) -> int:
         return int(self.value_sizes[index])
@@ -121,7 +134,7 @@ class RequestFactory:
         self._arrivals = spec.arrivals.build(rng_arrivals)
         self._fanout = spec.fanout.build(rng_fanout)
         self._popularity = spec.popularity.build(keyspace.size, rng_keys)
-        self._rng_kind = rng_kind
+        self._rng_kind = as_batched(rng_kind) if rng_kind is not None else None
         self.generated = 0
 
     def next_interarrival(self, now: float) -> float:
@@ -129,16 +142,20 @@ class RequestFactory:
         return self._arrivals.next_interarrival(now)
 
     def make_request(self) -> RequestDescriptor:
-        """Draw one multiget descriptor."""
+        """Draw one multiget descriptor (one vectorized draw per field).
+
+        Keys, sizes, and op kinds come from block draws and array lookups
+        rather than N scalar calls; the draw sequences are bit-identical
+        to the scalar path (see ``tests/workload/test_batched_equivalence``).
+        """
         n = self._fanout.sample()
         indices = self._popularity.sample_distinct(n)
-        keys = [self.keyspace.key_name(int(i)) for i in indices]
-        sizes = [self.keyspace.value_size(int(i)) for i in indices]
+        keys = self.keyspace.key_names(indices)
+        sizes = self.keyspace.value_sizes[indices].tolist()
         if self.spec.put_fraction > 0:
-            is_put = [
-                bool(self._rng_kind.random() < self.spec.put_fraction)
-                for _ in range(n)
-            ]
+            is_put = (
+                self._rng_kind.random_block(n) < self.spec.put_fraction
+            ).tolist()
         else:
             is_put = [False] * n
         self.generated += 1

@@ -13,11 +13,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rand import as_batched
 
 
 class SizeSampler:
     def sample(self) -> int:
         raise NotImplementedError
+
+    def sample_block(self, n: int) -> np.ndarray:
+        """``n`` sizes, identical to ``n`` successive :meth:`sample` calls.
+
+        Subclasses with a vectorizable draw override this; the fallback
+        just loops (used by e.g. custom user samplers).
+        """
+        return np.asarray([self.sample() for _ in range(n)], dtype=np.int64)
 
 
 class SizeSpec:
@@ -53,6 +62,9 @@ class _FixedSizeSampler(SizeSampler):
     def sample(self) -> int:
         return self._size
 
+    def sample_block(self, n: int) -> np.ndarray:
+        return np.full(n, self._size, dtype=np.int64)
+
 
 @dataclass(frozen=True)
 class UniformSize(SizeSpec):
@@ -76,10 +88,13 @@ class _UniformSizeSampler(SizeSampler):
     def __init__(self, lo: int, hi: int, rng: np.random.Generator):
         self._lo = lo
         self._hi = hi
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
-        return int(self._rng.integers(self._lo, self._hi + 1))
+        return self._rng.integers(self._lo, self._hi + 1)
+
+    def sample_block(self, n: int) -> np.ndarray:
+        return self._rng.integers_block(self._lo, self._hi + 1, n)
 
 
 @dataclass(frozen=True)
@@ -124,11 +139,15 @@ class _LognormalSampler(SizeSampler):
         self._mu = mu
         self._sigma = sigma
         self._cap = cap
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
-        raw = float(self._rng.lognormal(self._mu, self._sigma))
+        raw = self._rng.lognormal(self._mu, self._sigma)
         return int(min(max(1.0, raw), self._cap))
+
+    def sample_block(self, n: int) -> np.ndarray:
+        raw = self._rng.lognormal_block(self._mu, self._sigma, n)
+        return np.clip(raw, 1.0, self._cap).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -167,12 +186,17 @@ class _ParetoSampler(SizeSampler):
         self._lo = lo
         self._alpha = alpha
         self._cap = cap
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
         u = self._rng.random()
         raw = self._lo * (1.0 - u) ** (-1.0 / self._alpha)
         return int(min(raw, self._cap))
+
+    def sample_block(self, n: int) -> np.ndarray:
+        us = self._rng.random_block(n)
+        raw = self._lo * (1.0 - us) ** (-1.0 / self._alpha)
+        return np.minimum(raw, self._cap).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -203,10 +227,14 @@ class _BimodalSizeSampler(SizeSampler):
         self._small = small
         self._large = large
         self._p_large = p_large
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
         return self._large if self._rng.random() < self._p_large else self._small
+
+    def sample_block(self, n: int) -> np.ndarray:
+        us = self._rng.random_block(n)
+        return np.where(us < self._p_large, self._large, self._small).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -239,7 +267,11 @@ class _ExponentialSampler(SizeSampler):
     def __init__(self, mean_size: float, cap: int, rng: np.random.Generator):
         self._mean = mean_size
         self._cap = cap
-        self._rng = rng
+        self._rng = as_batched(rng)
 
     def sample(self) -> int:
         return int(min(self._rng.exponential(self._mean), self._cap))
+
+    def sample_block(self, n: int) -> np.ndarray:
+        raw = self._rng.exponential_block(self._mean, n)
+        return np.minimum(raw, self._cap).astype(np.int64)

@@ -187,6 +187,35 @@ class TestResource:
         r.release()
         assert res.count == 0
 
+    def test_out_of_order_release_is_correct(self, env):
+        """Slots are identity-keyed: releasing any holder (not just the
+        oldest) frees a slot and wakes the next waiter."""
+        res = Resource(env, capacity=3)
+        holders = [res.request() for _ in range(3)]
+        waiter = res.request()
+        res.release(holders[1])  # middle holder, not FIFO head
+        assert waiter.triggered
+        assert res.count == 3
+        assert set(res.users) == {holders[0], holders[2], waiter}
+
+    def test_release_of_foreign_request_raises(self, env):
+        res_a = Resource(env, capacity=1)
+        res_b = Resource(env, capacity=1)
+        r = res_a.request()
+        with pytest.raises(RuntimeError):
+            res_b.release(r)
+
+    def test_many_holders_release_scales(self, env):
+        """Release is O(1) in the number of holders (regression for the
+        old O(n) list scan): a wide resource with thousands of holders
+        releases in arbitrary order without quadratic blowup."""
+        n = 5000
+        res = Resource(env, capacity=n)
+        requests = [res.request() for _ in range(n)]
+        for req in reversed(requests):  # worst case for a list scan
+            res.release(req)
+        assert res.count == 0
+
     def test_usage_inside_processes(self, env):
         res = Resource(env, capacity=1)
         log = []

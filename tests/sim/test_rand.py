@@ -1,8 +1,9 @@
-"""Unit tests for seeded random streams."""
+"""Unit tests for seeded random streams and the batched sampling layer."""
 
+import numpy as np
 import pytest
 
-from repro.sim.rand import RandomStreams
+from repro.sim.rand import BatchedStream, RandomStreams, as_batched
 
 
 class TestRandomStreams:
@@ -67,3 +68,77 @@ class TestRandomStreams:
         streams = RandomStreams(9)
         streams.stream("x")
         assert "root_seed=9" in repr(streams)
+
+
+class TestSpawnSeedDerivation:
+    """Regression: spawn used a single 31-bit draw for child seeds, making
+    birthday collisions between sibling families likely at realistic client
+    counts.  Child seeds now come from a full SeedSequence derivation."""
+
+    def test_many_spawns_are_collision_free(self):
+        parent = RandomStreams(123)
+        seeds = {parent.spawn(f"client-{i}").root_seed for i in range(10_000)}
+        assert len(seeds) == 10_000
+
+    def test_spawn_seed_range_exceeds_31_bits(self):
+        parent = RandomStreams(0)
+        assert any(
+            parent.spawn(f"c{i}").root_seed > 2**31 for i in range(64)
+        )
+
+    def test_spawn_is_stable_across_instances(self):
+        a = RandomStreams(77).spawn("worker-3")
+        b = RandomStreams(77).spawn("worker-3")
+        assert a.root_seed == b.root_seed
+        assert list(a.stream("x").random(3)) == list(b.stream("x").random(3))
+
+    def test_spawn_family_differs_from_same_named_stream(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("alpha")
+        assert list(child.stream("x").random(3)) != list(
+            parent.stream("alpha").random(3)
+        )
+
+
+class TestBatchedStream:
+    def test_scalar_draws_match_raw_generator(self):
+        stream = BatchedStream(np.random.default_rng(11))
+        raw = np.random.default_rng(11)
+        for _ in range(5000):
+            assert stream.random() == raw.random()
+
+    def test_block_and_scalar_interleave_on_one_lane(self):
+        stream = BatchedStream(np.random.default_rng(4), block_size=64)
+        raw = np.random.default_rng(4)
+        got = [stream.random(), *stream.random_block(100).tolist(), stream.random()]
+        expected = [raw.random() for _ in range(102)]
+        assert got == expected
+
+    def test_lanes_are_parameter_keyed(self):
+        stream = BatchedStream(np.random.default_rng(2), block_size=8)
+        stream.integers(0, 10)
+        stream.integers(0, 99)
+        stream.lognormal(0.0, 1.0)
+        stream.lognormal(0.5, 1.0)
+        assert stream.blocks_filled == 4
+
+    def test_exponential_scales_share_one_lane(self):
+        stream = BatchedStream(np.random.default_rng(3), block_size=4096)
+        stream.exponential(1.0)
+        stream.exponential(250.0)
+        stream.exponential_block(0.5, 10)
+        assert stream.blocks_filled == 1
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            BatchedStream(np.random.default_rng(0), block_size=0)
+
+    def test_as_batched_is_idempotent(self):
+        stream = as_batched(np.random.default_rng(0))
+        assert as_batched(stream) is stream
+
+    def test_as_batched_wraps_generator(self):
+        gen = np.random.default_rng(0)
+        stream = as_batched(gen)
+        assert isinstance(stream, BatchedStream)
+        assert stream.gen is gen
