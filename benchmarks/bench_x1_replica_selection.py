@@ -1,9 +1,19 @@
 """X1 — extension (ours): DAS estimates driving replica selection.
 
 Expected shape: under Zipf skew with 3-way replication, spreading reads
-over replicas beats primary-only, and estimate-driven selection
-(``least_estimated_work``, powered by the same feedback DAS already
-collects) is at least as good as blind round-robin.
+over replicas beats primary-only by a wide margin, and timeliness-aware
+selection (``tars``, scored from the same feedback estimates DAS already
+collects) holds the mean while cutting the tail relative to blind
+round-robin.
+
+Tolerances: round-robin's win over primary is a multiple at every scale,
+so 0.8x is loose.  On the mean, ``tars`` and round-robin are within
+noise of each other at small scales (rotation is already near-optimal
+for the mean when all replicas are healthy), hence the 1.2x band; the
+p99 check is where the estimate-driven policy genuinely separates, and
+1.1x holds from the CI smoke scale (0.02) up.  The degraded-fleet
+scenario where adaptive policies dominate outright is X3
+(``bench_x3_selection``).
 """
 
 from benchmarks.conftest import execute_scenario, report
@@ -15,8 +25,12 @@ def bench_x1_replica_selection(benchmark, results_dir):
 
     das_primary = result.cell("primary", "DAS").metric("mean")
     das_rr = result.cell("round_robin", "DAS").metric("mean")
-    das_lw = result.cell("least_estimated_work", "DAS").metric("mean")
+    das_tars = result.cell("tars", "DAS").metric("mean")
     # Spreading the hot key over replicas is a large win under skew.
     assert das_rr < das_primary * 0.8
-    # Estimate-driven selection does not lose to blind rotation.
-    assert das_lw < das_rr * 1.15
+    # Estimate-driven selection does not lose the mean to blind rotation...
+    assert das_tars < das_rr * 1.2
+    # ...and wins the tail, where stale-queue routing hurts most.
+    rr_p99 = result.cell("round_robin", "DAS").metric("p99")
+    tars_p99 = result.cell("tars", "DAS").metric("p99")
+    assert tars_p99 < rr_p99 * 1.1

@@ -1,0 +1,40 @@
+"""X3 — extension (ours): replica-selection shoot-out on a degraded fleet.
+
+Expected shape: on a heterogeneous fleet with mid-run degradations, the
+load-oblivious policies (``primary``, ``random``, ``round_robin``) keep
+sending reads to the slow servers while the adaptive ones — estimate-
+driven (``least_estimated_work``, ``power_of_d``, ``c3``, ``tars``) and
+probe-fed (``prequal``) — shed them, cutting both the mean and the tail.
+
+The assertions only require each adaptive policy to beat *both*
+load-oblivious baselines (``primary`` and ``random``) outright on mean
+and p99 RCT.  No relative ordering among the adaptive policies is
+asserted: their spread is well inside run-to-run noise at bench scale,
+while the adaptive-vs-oblivious gap is a multiple (roughly 1.4x on mean
+and 2-8x on p99 at the default bench scale) and stable down to the CI
+smoke scale (0.02), where the scenario sits on its duration floor.
+"""
+
+from benchmarks.conftest import execute_scenario, report
+
+ADAPTIVE = ("least_estimated_work", "power_of_d", "c3", "tars", "prequal")
+OBLIVIOUS = ("primary", "random")
+
+
+def bench_x3_selection(benchmark, results_dir):
+    result = execute_scenario(benchmark, "X3")
+    report(result, results_dir)
+
+    mean = {x: result.cell(x, "DAS").metric("mean") for x in ADAPTIVE + OBLIVIOUS}
+    p99 = {x: result.cell(x, "DAS").metric("p99") for x in ADAPTIVE + OBLIVIOUS}
+    worst_oblivious_mean = min(mean[x] for x in OBLIVIOUS)
+    worst_oblivious_p99 = min(p99[x] for x in OBLIVIOUS)
+    for policy in ADAPTIVE:
+        assert mean[policy] < worst_oblivious_mean, (
+            f"{policy} mean {mean[policy]:.6f}s not below "
+            f"best oblivious mean {worst_oblivious_mean:.6f}s"
+        )
+        assert p99[policy] < worst_oblivious_p99, (
+            f"{policy} p99 {p99[policy]:.6f}s not below "
+            f"best oblivious p99 {worst_oblivious_p99:.6f}s"
+        )

@@ -11,6 +11,7 @@ Run the full-size experiments with ``repro-experiments --all``.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -18,7 +19,10 @@ from repro.experiments.report import format_reduction_table, format_scenario_tab
 from repro.experiments.runner import ScenarioResult, run_scenario
 from repro.experiments.scenarios import get_scenario
 
-#: Fraction of the full experiment size benches run at.
+#: Fraction of the full experiment size benches run at.  Overridable per
+#: invocation with ``pytest benchmarks/... --scale 0.02`` (the CI
+#: selection-conformance job uses the smoke scale; modules that pass an
+#: explicit ``scale=`` to :func:`execute_scenario` are unaffected).
 SCALE = 0.08
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -30,10 +34,32 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def execute_scenario(benchmark, experiment_id: str, scale: float = SCALE) -> ScenarioResult:
+def pytest_addoption(parser):
+    """Register ``--scale`` (only active when benchmarks/ is a test root)."""
+    parser.addoption(
+        "--scale",
+        type=float,
+        default=None,
+        help=f"Scenario scale for the bench suite (default {SCALE}).",
+    )
+
+
+def pytest_configure(config):
+    """Apply a ``--scale`` override to the module default."""
+    override = config.getoption("--scale", default=None)
+    if override is not None:
+        if override <= 0:
+            raise pytest.UsageError("--scale must be positive")
+        global SCALE
+        SCALE = override
+
+
+def execute_scenario(
+    benchmark, experiment_id: str, scale: Optional[float] = None
+) -> ScenarioResult:
     """Benchmark one full scenario run (single round — it's a simulation,
     not a microbenchmark) and return its results."""
-    scenario = get_scenario(experiment_id, scale=scale)
+    scenario = get_scenario(experiment_id, scale=SCALE if scale is None else scale)
     return benchmark.pedantic(
         lambda: run_scenario(scenario), rounds=1, iterations=1
     )

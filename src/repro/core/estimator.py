@@ -156,6 +156,22 @@ class ServerEstimates:
         state = self._servers.get(server_id)
         return state.observations if state is not None else 0
 
+    def staleness(self, server_id: int, now: float) -> float:
+        """Seconds since the last feedback from ``server_id`` (inf if never).
+
+        Timeliness-aware replica selection (Tars-style) discounts stale
+        congestion information by this age.
+        """
+        state = self._servers.get(server_id)
+        if state is None or state.last_update == float("-inf"):
+            return float("inf")
+        return max(0.0, now - state.last_update)
+
+    def queue_length(self, server_id: int) -> int:
+        """Queue length reported by the most recent feedback (0 if never)."""
+        state = self._servers.get(server_id)
+        return state.snapshot_queue_length if state is not None else 0
+
     def known_servers(self) -> list[int]:
         return sorted(self._servers)
 

@@ -64,6 +64,11 @@ EXPECTATIONS = {
     "X2": "(ours, extension) with op timeouts and replica retries a "
           "mid-run server outage barely moves the tail; unprotected, "
           "every request touching the dead server stalls until recovery.",
+    "X3": "(ours, extension) on a degraded heterogeneous fleet every "
+          "estimate- or probe-driven selection policy (least-work, "
+          "power-of-d, C3, Tars, Prequal) beats both load-oblivious "
+          "baselines (primary, random) on mean and P99 RCT; the scored "
+          "policies cut the tail the furthest.",
 }
 
 

@@ -557,14 +557,16 @@ def a2_scenario(scale: float = 1.0) -> Scenario:
 def x1_scenario(scale: float = 1.0) -> Scenario:
     """Replica-selection policies under Zipf skew, replication factor 3.
 
-    DAS's per-server queued-work estimates come for free from feedback;
-    ``least_estimated_work`` read-replica selection reuses them to steer
-    GETs away from congested replicas.  Compared against primary-only
-    (the paper's setting) and blind round-robin at load 0.7 under
-    Zipf(0.99) keys — the regime where the hot key's owner saturates.
+    DAS's per-server feedback estimates come for free; the
+    :mod:`repro.selection` policies reuse them to steer GETs away from
+    congested replicas.  ``tars`` (timeliness-aware scoring over the same
+    ``ServerEstimates`` DAS reads) is compared against primary-only (the
+    paper's setting) and blind round-robin at load 0.7 under Zipf(0.99)
+    keys — the regime where the hot key's owner saturates.  The full
+    policy shoot-out (including probe-based ``prequal``) is X3.
     """
     _check_scale(scale)
-    selections = ("primary", "round_robin", "least_estimated_work")
+    selections = ("primary", "round_robin", "tars")
     points = []
     for selection in selections:
         points.append(
@@ -639,6 +641,68 @@ def x2_scenario(scale: float = 1.0) -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# X3 — extension (ours): replica-selection shoot-out on a degraded fleet
+# ----------------------------------------------------------------------
+def x3_scenario(scale: float = 1.0) -> Scenario:
+    """Every selection policy on a heterogeneous, mid-run-degraded fleet.
+
+    Three-way replication under Zipf skew on a fleet where a quarter of
+    the servers are permanently slower (speed 0.7) and two more lose 60%
+    of their speed a quarter of the way in.  This is the regime replica
+    selection exists for: load-oblivious policies (``primary``,
+    ``random``, ``round_robin``) keep routing reads onto the slow and
+    degraded replicas, while estimate- and probe-driven policies
+    (``least_estimated_work``, ``power_of_d``, ``c3``, ``tars``,
+    ``prequal``) shed them from the congested servers.  Single scheduler
+    (DAS) so the selection axis is the only variable.
+    """
+    _check_scale(scale)
+    duration = _duration(scale)
+    speeds = tuple(0.7 if sid % 4 == 0 else 1.0 for sid in range(N_SERVERS))
+    mean_speed = sum(speeds) / len(speeds)
+    degradations = {
+        sid: (DegradationEvent(duration * 0.25, 0.4),) for sid in (1, 2)
+    }
+    selections = (
+        "primary",
+        "random",
+        "round_robin",
+        "least_estimated_work",
+        "power_of_d",
+        "c3",
+        "tars",
+        "prequal",
+    )
+    points = []
+    for selection in selections:
+        points.append(
+            RunPoint(
+                x=selection,
+                config=_base_config(
+                    0.55,
+                    pattern=BASELINE,  # Zipf skew: hot owners congest first
+                    mean_speed=mean_speed,
+                    server_speeds=speeds,
+                    degradations=degradations,
+                    replication_factor=3,
+                    replica_selection=selection,
+                ),
+                sim=SimulationConfig(duration=duration, warmup_fraction=0.1),
+            )
+        )
+    return Scenario(
+        experiment_id="X3",
+        title="Extension: selection policy shoot-out (degraded fleet, n=3)",
+        x_label="selection",
+        metric="mean",
+        points=tuple(points),
+        schedulers=(DAS,),
+        notes="Ours, not in the paper: adaptive policies must beat "
+        "primary and random on mean and p99 here.",
+    )
+
+
 SCENARIOS: Dict[str, Callable[[float], Scenario]] = {
     "E1": e1_scenario,
     "E2": e2_scenario,
@@ -654,6 +718,7 @@ SCENARIOS: Dict[str, Callable[[float], Scenario]] = {
     "A2": a2_scenario,
     "X1": x1_scenario,
     "X2": x2_scenario,
+    "X3": x3_scenario,
 }
 
 

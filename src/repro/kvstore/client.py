@@ -72,6 +72,10 @@ class Client:
         self.op_timeout = op_timeout
         self.max_retries = max_retries
         self.tracer = tracer
+        # Hot-path gates: only adaptive selection policies pay for the
+        # per-op dispatch/response forwarding (primary reads skip it all).
+        self._track_inflight = placement.wants_inflight
+        self._track_selection_feedback = placement.wants_feedback
         self.requests_sent = 0
         self.requests_completed = 0
         self.retries_sent = 0
@@ -145,6 +149,8 @@ class Client:
     def _send_op(self, op: Operation) -> None:
         now = self.env.now
         op.dispatch_time = now
+        if self._track_inflight:
+            self.placement.record_dispatch(op.server_id)
         server = self.servers[op.server_id]
         self.network.send(
             ("client", self.client_id),
@@ -205,8 +211,13 @@ class Client:
         now = self.env.now
         op = response.operation
         op.response_time = now
-        if response.feedback is not None and self.estimates is not None:
-            self.estimates.observe(response.feedback)
+        if self._track_inflight:
+            self.placement.record_response(op.server_id, now - op.dispatch_time)
+        if response.feedback is not None:
+            if self.estimates is not None:
+                self.estimates.observe(response.feedback)
+            if self._track_selection_feedback:
+                self.placement.observe_feedback(response.feedback)
         self.metrics.record_op_completion(response.ok)
 
         outstanding = self._pending.get(op.request_id)
@@ -248,6 +259,8 @@ class Client:
         """Delivery point for broadcast (periodic-mode) feedback."""
         if self.estimates is not None:
             self.estimates.observe(feedback)
+        if self._track_selection_feedback:
+            self.placement.observe_feedback(feedback)
 
     # ------------------------------------------------------------------
     @property

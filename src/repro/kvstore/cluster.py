@@ -21,6 +21,7 @@ from repro.metrics.summary import SummaryStats
 from repro.obs import MetricsRegistry, Tracer, register_queue_gauges
 from repro.schedulers.base import QueueContext
 from repro.schedulers.registry import create_policy
+from repro.selection import selection_policy_needs
 from repro.sim.core import Environment
 from repro.sim.rand import RandomStreams
 from repro.workload.requests import (
@@ -211,29 +212,31 @@ class Cluster:
         estimates = None
         if cfg.feedback.mode is not FeedbackMode.NONE:
             estimates = ServerEstimates(**cfg.estimator_params)
+        needs = selection_policy_needs(cfg.replica_selection)
         selection_rng = (
-            self.streams.stream(f"replica/{cid}")
-            if cfg.replica_selection == "random"
-            else None
+            self.streams.stream(f"replica/{cid}") if needs.rng else None
         )
-        work_estimate = None
-        if cfg.replica_selection == "least_estimated_work":
-            if estimates is None:
-                raise ConfigError(
-                    "least_estimated_work replica selection requires feedback"
-                )
-            snapshot = estimates
-
-            def work_estimate(sid: int, _view=snapshot) -> float:
-                return _view.queued_work(sid, self.env.now)
-
+        if needs.estimates and estimates is None:
+            raise ConfigError(
+                f"{cfg.replica_selection} replica selection requires feedback"
+            )
         placement = ReplicaPlacement(
             self.ring,
             replication_factor=cfg.replication_factor,
             selection=cfg.replica_selection,
             rng=selection_rng,
-            work_estimate=work_estimate,
+            estimates=estimates,
+            selection_params=cfg.replica_selection_params,
+            clock=lambda: self.env.now,
         )
+        if placement.policy.name != "primary" and cfg.replication_factor > 1:
+            self.registry.gauge(
+                "client_selection_decisions",
+                "Read-replica selections made by this client's policy",
+                fn=lambda p=placement.policy: float(p.decisions),
+                client=str(cid),
+                policy=placement.policy.name,
+            )
         # Request ids are partitioned per client so they are globally unique.
         return Client(
             env=self.env,
@@ -274,6 +277,16 @@ class Cluster:
                     self.env, server, interval, deliver_factory(server)
                 )
             )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def selection_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-client replica-selection summary (policy, picks, probes)."""
+        return {
+            client.client_id: client.placement.selection_stats()
+            for client in self.clients
+        }
 
     # ------------------------------------------------------------------
     # Execution

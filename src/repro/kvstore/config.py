@@ -69,6 +69,9 @@ class ClusterConfig:
 
     replication_factor: int = 1
     replica_selection: str = "primary"
+    #: Knobs forwarded to the selection-policy constructor (see
+    #: docs/selection.md for each policy's parameters).
+    replica_selection_params: Dict[str, Any] = field(default_factory=dict)
     vnodes: int = 64
 
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
@@ -122,6 +125,12 @@ class ClusterConfig:
             raise ConfigError("max_retries > 0 requires op_timeout")
         if self.replication_factor > self.n_servers:
             raise ConfigError("replication_factor exceeds n_servers")
+        # Validate the policy name at config time rather than deep inside
+        # cluster assembly.  Imported here to keep the config module free
+        # of a hard dependency for type checking.
+        from repro.selection import selection_policy_needs
+
+        selection_policy_needs(self.replica_selection)
         if self.network_base_delay < 0 or self.network_jitter_mean < 0:
             raise ConfigError("network delays must be >= 0")
 

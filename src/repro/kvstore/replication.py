@@ -2,22 +2,31 @@
 
 Keys are replicated on the first ``replication_factor`` distinct servers
 clockwise from their ring position (Dynamo-style).  GET operations may be
-served by any replica; the *selection policy* decides which, and is one of
-the levers a front-end has besides scheduling (the paper's evaluation uses
-primary-only reads; the other policies support our extension experiments).
+served by any replica; a :class:`~repro.selection.SelectionPolicy`
+decides which — the *selection* lever a front-end has besides scheduling
+(the paper's evaluation uses primary-only reads; the policy zoo in
+:mod:`repro.selection` powers the X1/X3 extension experiments).
+
+:class:`ReplicaPlacement` binds a policy to a ring: it resolves each
+key's replica set, delegates the pick, and forwards the client's
+dispatch/response/feedback events to the policy under a caller-supplied
+clock (``env.now`` in the sim, ``time.monotonic()`` in the runtime).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.kvstore.items import Feedback
 from repro.kvstore.partitioning import ConsistentHashRing
-from repro.sim.rand import as_batched
-
-SelectionFn = Callable[[List[int]], int]
+from repro.selection import (
+    SELECTION_POLICY_NAMES,
+    SelectionPolicy,
+    create_selection_policy,
+)
 
 
 class ReplicaPlacement:
@@ -30,19 +39,29 @@ class ReplicaPlacement:
     replication_factor:
         Number of replicas per key (1 = no replication).
     selection:
-        ``"primary"`` — always read the first replica (paper default);
-        ``"round_robin"`` — rotate over replicas per key;
-        ``"random"`` — uniform random replica;
-        ``"least_estimated_work"`` — pick the replica the client currently
-        estimates to be least loaded (requires an estimate callback).
+        Policy name from :data:`repro.selection.SELECTION_POLICY_NAMES`
+        (``"primary"`` is the paper default).  Ignored when ``policy`` is
+        given.
     rng:
-        Random generator for the ``"random"`` policy.
+        Random generator for policies that sample (``random``,
+        ``power_of_d``).
     work_estimate:
-        Callable ``server_id -> estimated queued work`` used by
+        Legacy callable ``server_id -> estimated queued work`` used by
         ``"least_estimated_work"``.
+    estimates:
+        The client's :class:`~repro.core.estimator.ServerEstimates`,
+        required by the estimate-scored policies (``least_estimated_work``
+        without a callback, ``c3``, ``tars``).
+    selection_params:
+        Extra keyword knobs forwarded to the policy constructor.
+    policy:
+        A pre-built policy object (overrides ``selection``/knobs).
+    clock:
+        Zero-argument callable returning the current time for the policy;
+        defaults to a constant 0.0 (fine for time-free policies).
     """
 
-    POLICIES = ("primary", "round_robin", "random", "least_estimated_work")
+    POLICIES = SELECTION_POLICY_NAMES
 
     def __init__(
         self,
@@ -51,6 +70,10 @@ class ReplicaPlacement:
         selection: str = "primary",
         rng: Optional[np.random.Generator] = None,
         work_estimate: Optional[Callable[[int], float]] = None,
+        estimates=None,
+        selection_params: Optional[dict] = None,
+        policy: Optional[SelectionPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if replication_factor < 1:
             raise ConfigError("replication_factor must be >= 1")
@@ -59,24 +82,25 @@ class ReplicaPlacement:
                 f"replication_factor {replication_factor} exceeds cluster "
                 f"size {len(ring.servers)}"
             )
-        if selection not in self.POLICIES:
-            raise ConfigError(
-                f"unknown selection policy {selection!r}; one of {self.POLICIES}"
-            )
-        if selection == "random" and rng is None:
-            raise ConfigError("selection='random' requires an rng")
-        if selection == "least_estimated_work" and work_estimate is None:
-            raise ConfigError(
-                "selection='least_estimated_work' requires a work_estimate callback"
+        if policy is None:
+            policy = create_selection_policy(
+                selection,
+                rng=rng,
+                estimates=estimates,
+                work_estimate=work_estimate,
+                **(selection_params or {}),
             )
         self.ring = ring
         self.replication_factor = replication_factor
-        self.selection = selection
-        self._rng = as_batched(rng) if rng is not None else None
-        self._work_estimate = work_estimate
-        self._rr_counters: Dict[str, int] = {}
+        self.policy = policy
+        self.selection = policy.name
+        self._clock = clock if clock is not None else (lambda: 0.0)
         # With one replica every policy degenerates to "first (only) entry".
-        self._primary_reads = selection == "primary" or replication_factor == 1
+        self._primary_reads = policy.name == "primary" or replication_factor == 1
+        #: Hot-path gates: callers skip the forwarding hooks entirely when
+        #: the policy has no use for the signal (or never gets to choose).
+        self.wants_inflight = policy.wants_inflight and not self._primary_reads
+        self.wants_feedback = policy.wants_feedback and not self._primary_reads
 
     def replicas(self, key: str) -> List[int]:
         """The full replica set for ``key`` (primary first)."""
@@ -91,18 +115,30 @@ class ReplicaPlacement:
         candidates = self.replicas(key)
         if len(candidates) == 1:
             return candidates[0]
-        if self.selection == "round_robin":
-            counter = self._rr_counters.get(key, 0)
-            self._rr_counters[key] = counter + 1
-            return candidates[counter % len(candidates)]
-        if self.selection == "random":
-            return candidates[self._rng.integers(0, len(candidates))]
-        # least_estimated_work
-        return min(candidates, key=lambda sid: (self._work_estimate(sid), sid))
+        return self.policy.select(key, candidates, self._clock())
 
     def write_set(self, key: str) -> List[int]:
         """Servers a PUT must reach (all replicas)."""
         return self.replicas(key)
+
+    # ------------------------------------------------------------------
+    # Signal forwarding (gate on wants_inflight / wants_feedback)
+    # ------------------------------------------------------------------
+    def record_dispatch(self, server_id: int) -> None:
+        """An operation was sent to ``server_id`` (in-flight +1)."""
+        self.policy.on_dispatch(server_id, self._clock())
+
+    def record_response(self, server_id: int, latency: float) -> None:
+        """A response arrived from ``server_id`` after ``latency`` seconds."""
+        self.policy.on_response(server_id, self._clock(), latency)
+
+    def observe_feedback(self, feedback: Feedback) -> None:
+        """Forward a feedback snapshot to the policy (probe funnel)."""
+        self.policy.observe_feedback(feedback, self._clock())
+
+    def selection_stats(self) -> dict:
+        """The policy's decision/pick summary."""
+        return self.policy.stats()
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,7 @@ import itertools
 import logging
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from repro.runtime.resilience import (
     RetryPolicy,
     ServerUnavailableError,
 )
+from repro.selection import create_selection_policy, selection_policy_needs
 
 logger = logging.getLogger(__name__)
 
@@ -108,6 +109,17 @@ class RuntimeClient:
         the client stamps ``trace`` into the tags, servers return per-op
         spans, and the assembled :class:`RequestTrace` lands in the
         tracer (tag -> enqueue -> service -> reply).
+    replication_factor / selection / selection_params:
+        Replicated reads: keys live on the first ``replication_factor``
+        servers of their preference list; GETs are routed by the named
+        :mod:`repro.selection` policy (``"primary"`` preserves the
+        unreplicated behaviour) and PUTs fan out to every replica.
+    probes_per_request / probe_timeout:
+        For probe-based policies (``wants_probes``, e.g. ``prequal``):
+        after each multiget dispatch up to ``probes_per_request``
+        control-plane ``probe`` messages are fired at randomly chosen
+        replicas of the touched keys; replies refresh the policy's pool
+        through the same feedback funnel as data replies.
     """
 
     def __init__(
@@ -123,14 +135,50 @@ class RuntimeClient:
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        replication_factor: int = 1,
+        selection: str = "primary",
+        selection_params: Optional[Dict] = None,
+        probes_per_request: int = 2,
+        probe_timeout: float = 0.25,
     ):
         if not endpoints:
             raise ValueError("need at least one endpoint")
         if hedge_policy is not None and retry_policy is None:
             raise ValueError("hedge_policy requires retry_policy")
+        if not 1 <= replication_factor <= len(endpoints):
+            raise ValueError(
+                f"replication_factor {replication_factor} out of range for "
+                f"{len(endpoints)} endpoints"
+            )
+        if probes_per_request < 0:
+            raise ValueError("probes_per_request must be >= 0")
+        if probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
         self.endpoints = list(endpoints)
         self.ring = ConsistentHashRing(range(len(endpoints)))
         self.estimates = estimator if estimator is not None else ServerEstimates()
+        self.replication_factor = replication_factor
+        needs = selection_policy_needs(selection)
+        self.selection_policy = create_selection_policy(
+            selection,
+            rng=np.random.default_rng(seed + 1) if needs.rng else None,
+            estimates=self.estimates if needs.estimates else None,
+            **(selection_params or {}),
+        )
+        #: primary at rf=1 is the pre-replication fast path: no tracking.
+        self._primary_reads = (
+            self.selection_policy.name == "primary" or replication_factor == 1
+        )
+        track = not self._primary_reads
+        self._track_inflight = track and self.selection_policy.wants_inflight
+        self._track_feedback = track and self.selection_policy.wants_feedback
+        self._want_probes = (
+            track and self.selection_policy.wants_probes and probes_per_request > 0
+        )
+        self.probes_per_request = probes_per_request
+        self.probe_timeout = probe_timeout
+        self._probe_rng = np.random.default_rng(seed + 2)
+        self._probe_tasks: Set[asyncio.Task] = set()
         self.byte_rate_hint = byte_rate_hint
         self.per_op_overhead_hint = per_op_overhead_hint
         self.retry_policy = retry_policy
@@ -163,8 +211,18 @@ class RuntimeClient:
                 ("breaker_opens", "Circuit breakers tripped open"),
                 ("breaker_rejections", "Calls rejected by an open breaker"),
                 ("partial_multigets", "Multigets that returned partial data"),
+                ("probes_sent", "Control-plane load probes issued"),
+                ("probes_ok", "Probes answered in time"),
+                ("probes_failed", "Probes that timed out or died"),
             )
         }
+        if not self._primary_reads:
+            self.registry.gauge(
+                "client_selection_decisions",
+                "Read-replica selections made by the client's policy",
+                fn=lambda: float(self.selection_policy.decisions),
+                policy=self.selection_policy.name,
+            )
         self._attempt_latency = self.registry.histogram(
             "client_attempt_latency_seconds", "Per-attempt round-trip latency"
         )
@@ -229,6 +287,11 @@ class RuntimeClient:
         conn.writer.close()
 
     async def close(self) -> None:
+        for task in list(self._probe_tasks):
+            task.cancel()
+        if self._probe_tasks:
+            await asyncio.gather(*self._probe_tasks, return_exceptions=True)
+            self._probe_tasks.clear()
         for conn in list(self._connections.values()) + list(
             self._hedge_connections.values()
         ):
@@ -269,15 +332,23 @@ class RuntimeClient:
         feedback = message.fields.get("feedback")
         if not feedback:
             return
-        self.estimates.observe(
-            Feedback(
-                server_id=server_id,
-                queued_work=float(feedback.get("queued_work", 0.0)),
-                queue_length=int(feedback.get("queue_length", 0)),
-                rate_sample=float(feedback.get("rate_sample", 1.0)),
-                timestamp=time.monotonic(),
-            )
+        # Probe replies additionally carry in_flight (queued + in-service),
+        # a strictly better requests-in-flight signal than queue_length.
+        queue_length = int(
+            message.fields.get("in_flight", feedback.get("queue_length", 0))
         )
+        fb = Feedback(
+            server_id=server_id,
+            queued_work=float(feedback.get("queued_work", 0.0)),
+            queue_length=queue_length,
+            rate_sample=float(feedback.get("rate_sample", 1.0)),
+            timestamp=time.monotonic(),
+        )
+        self.estimates.observe(fb)
+        if self._track_feedback:
+            # The one funnel into the policy: piggybacked replies and probe
+            # replies both land here via the shared read loop.
+            self.selection_policy.observe_feedback(fb, now=time.monotonic())
 
     # ------------------------------------------------------------------
     # Resilient call machinery
@@ -468,16 +539,43 @@ class RuntimeClient:
     def owner(self, key: str) -> int:
         return self.ring.owner(key)
 
+    def read_replica(self, key: str) -> int:
+        """The replica chosen to serve reads of ``key`` this instant."""
+        if self._primary_reads:
+            return self.ring.owner(key)
+        candidates = self.ring.preference_list(key, self.replication_factor)
+        return self.selection_policy.select(key, candidates, time.monotonic())
+
+    def write_set(self, key: str) -> List[int]:
+        """Every replica a PUT of ``key`` must reach."""
+        if self.replication_factor == 1:
+            return [self.ring.owner(key)]
+        return list(self.ring.preference_list(key, self.replication_factor))
+
+    async def _tracked_call(
+        self, server_id: int, mtype: str, fields: Dict, idempotent: bool = False
+    ) -> Message:
+        """:meth:`_call`, reported to the selection policy when it cares."""
+        if not self._track_inflight:
+            return await self._call(server_id, mtype, fields, idempotent=idempotent)
+        started = time.monotonic()
+        self.selection_policy.on_dispatch(server_id, started)
+        try:
+            return await self._call(server_id, mtype, fields, idempotent=idempotent)
+        finally:
+            now = time.monotonic()
+            self.selection_policy.on_response(server_id, now, now - started)
+
     async def put(self, key: str, value: bytes) -> None:
-        server_id = self.owner(key)
-        tags = self._tags_for({server_id: [key]})
-        reply = await self._call(
-            server_id,
-            "put",
-            {"key": key, "value": encode_value(value), "tags": tags},
+        servers = self.write_set(key)
+        tags = self._tags_for({sid: [key] for sid in servers})
+        fields = {"key": key, "value": encode_value(value), "tags": tags}
+        replies = await asyncio.gather(
+            *(self._tracked_call(sid, "put", dict(fields)) for sid in servers)
         )
-        if not reply.fields.get("ok"):
-            raise ProtocolError(f"put failed: {reply.fields.get('error')}")
+        for reply in replies:
+            if not reply.fields.get("ok"):
+                raise ProtocolError(f"put failed: {reply.fields.get('error')}")
         self._size_cache[key] = len(value)
 
     async def get(self, key: str) -> Optional[bytes]:
@@ -491,7 +589,7 @@ class RuntimeClient:
         tags: Dict[str, float],
         span_sink: Optional[List[dict]] = None,
     ) -> Dict[str, Optional[bytes]]:
-        reply = await self._call(
+        reply = await self._tracked_call(
             server_id,
             "mget",
             {"keys": server_keys, "tags": tags},
@@ -527,7 +625,8 @@ class RuntimeClient:
             return ({}, MultigetReport()) if partial else {}
         by_server: Dict[int, List[str]] = {}
         for key in keys:
-            by_server.setdefault(self.owner(key), []).append(key)
+            by_server.setdefault(self.read_replica(key), []).append(key)
+        self._maybe_probe(keys)
         tag_time = time.monotonic()
         tags = self._tags_for(by_server)
         span_sink: Optional[List[dict]] = None
@@ -576,14 +675,57 @@ class RuntimeClient:
         return merged, report
 
     # ------------------------------------------------------------------
+    # Probing (Prequal-style freshness for probe-based policies)
+    # ------------------------------------------------------------------
+    def _maybe_probe(self, keys: Sequence[str]) -> None:
+        """Fire up to ``probes_per_request`` control-plane probes.
+
+        Targets are drawn without replacement from the union of the
+        touched keys' replica sets, so the pool stays fresh for exactly
+        the servers this client might route to next.  Probes are
+        fire-and-forget background tasks: their replies refresh the pool
+        through the read loop's feedback funnel, never blocking the
+        request that triggered them.
+        """
+        if not self._want_probes:
+            return
+        candidates: Set[int] = set()
+        for key in keys:
+            candidates.update(
+                self.ring.preference_list(key, self.replication_factor)
+            )
+        pool = sorted(candidates)
+        n = min(self.probes_per_request, len(pool))
+        if n == 0:
+            return
+        picks = self._probe_rng.choice(len(pool), size=n, replace=False)
+        for idx in picks:
+            task = asyncio.create_task(self._probe(pool[int(idx)]))
+            self._probe_tasks.add(task)
+            task.add_done_callback(self._probe_tasks.discard)
+
+    async def _probe(self, server_id: int) -> None:
+        """One probe round-trip (bypasses retry/hedge/breaker machinery)."""
+        self.counters["probes_sent"].inc()
+        try:
+            await self._attempt(server_id, "probe", {}, self.probe_timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            self.counters["probes_failed"].inc()
+        else:
+            self.counters["probes_ok"].inc()
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Counter snapshot: retries, timeouts, reconnects, hedges, ..."""
-        snapshot = {name: int(c.value) for name, c in self.counters.items()}
+        snapshot: Dict[str, Any] = {
+            name: int(c.value) for name, c in self.counters.items()
+        }
         snapshot["breakers_open"] = sum(
             1 for b in self._breakers.values() if b.state == CircuitBreaker.OPEN
         )
+        snapshot["selection"] = self.selection_policy.stats()
         return snapshot
 
     async def server_stats(self, server_id: int) -> Dict:

@@ -44,6 +44,9 @@ class LocalCluster:
         retry_policy: Optional[RetryPolicy] = None,
         hedge_policy: Optional[HedgePolicy] = None,
         trace_sample_rate: float = 1 / 128,
+        replication_factor: int = 1,
+        selection: str = "primary",
+        selection_params: Optional[Dict[str, Any]] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -62,6 +65,9 @@ class LocalCluster:
         ]
         self._retry_policy = retry_policy
         self._hedge_policy = hedge_policy
+        self._replication_factor = replication_factor
+        self._selection = selection
+        self._selection_params = selection_params
         self.client: Optional[RuntimeClient] = None
         self._extra_clients: List[RuntimeClient] = []
 
@@ -73,6 +79,9 @@ class LocalCluster:
             hedge_policy=self._hedge_policy,
             registry=self.registry,
             tracer=self.tracer if self.tracer.enabled else None,
+            replication_factor=self._replication_factor,
+            selection=self._selection,
+            selection_params=self._selection_params,
         )
         await self.client.connect()
         return self

@@ -13,6 +13,10 @@ Request types (client -> server):
   reply's ``stats`` field carries the counter snapshot and the metrics
   registry snapshot (see ``repro.obs``).  Served from the control plane
   (never queued behind data operations).
+* ``probe`` — ``{}`` — Prequal-style load probe.  Served from the
+  control plane like ``stats``; the reply carries the usual ``feedback``
+  snapshot plus ``in_flight`` (queued + in-service operations), feeding
+  the client's probe pool without queueing behind data operations.
 
 Response (server -> client):
 
@@ -43,7 +47,7 @@ _LEN = struct.Struct(">I")
 #: Sanity bound so a corrupt length prefix cannot allocate gigabytes.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
-VALID_TYPES = ("get", "put", "mget", "stats", "reply")
+VALID_TYPES = ("get", "put", "mget", "stats", "probe", "reply")
 
 
 @dataclass

@@ -89,6 +89,7 @@ class ScheduledExecutor:
         self._wakeup = asyncio.Event()
         self._worker: Optional[asyncio.Task] = None
         self._stopping = False
+        self._serving = False
         #: Registry instruments.  A shared registry (e.g. the cluster's)
         #: keeps one series per server across executor restarts; a fresh
         #: one is created for standalone use.
@@ -176,6 +177,7 @@ class ScheduledExecutor:
                 continue
             op = self.queue.pop(time.monotonic())
             op.start_time = time.monotonic()
+            self._serving = True
             try:
                 result = op.work() if op.work is not None else None
                 if self.byte_rate is not None and op.demand > 0:
@@ -188,6 +190,7 @@ class ScheduledExecutor:
                 # failed; skipping the hook would desynchronize adaptive
                 # state (EWMAs, controller) from reality.
                 op.finish_time = time.monotonic()
+                self._serving = False
                 self._ops_failed.inc()
                 self._service_hist.observe(op.finish_time - op.start_time)
                 self.queue.on_service_complete(op, op.finish_time)
@@ -195,6 +198,7 @@ class ScheduledExecutor:
                     op.done.set_exception(exc)
                 continue
             op.finish_time = time.monotonic()
+            self._serving = False
             elapsed = op.finish_time - op.start_time
             if op.demand > 0 and elapsed > 0:
                 self._rate_ewma.update(op.demand / elapsed)
@@ -218,6 +222,11 @@ class ScheduledExecutor:
     @property
     def measured_rate(self) -> float:
         return self._rate_ewma.value_or(1.0)
+
+    @property
+    def in_flight(self) -> int:
+        """Operations queued plus the one currently in service, if any."""
+        return len(self.queue) + (1 if self._serving else 0)
 
     def feedback(self) -> Dict[str, float]:
         """Feedback snapshot in the wire-protocol shape."""

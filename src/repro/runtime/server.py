@@ -107,6 +107,9 @@ class KVServer:
         self._c_crashes = self.registry.counter(
             "server_crashes_total", "Hard crashes injected", server=sid
         )
+        self._c_probes = self.registry.counter(
+            "server_probes_total", "Load probes answered", server=sid
+        )
         self.registry.gauge(
             "server_active_connections",
             "Currently open connections",
@@ -233,6 +236,15 @@ class KVServer:
                 # data operations (a scrape must work on a loaded server).
                 values, spans = {}, None
                 extra["stats"] = self.stats()
+            elif message.type == "probe":
+                # Control plane, like stats: a load probe must reflect the
+                # server's congestion *now*, not after waiting out the very
+                # queue it is trying to measure.  The reply's standard
+                # feedback block carries the signals; in_flight adds the
+                # in-service operation the queue length misses.
+                values, spans = {}, None
+                extra["in_flight"] = self.executor.in_flight
+                self._c_probes.inc()
             else:
                 raise ProtocolError(f"unexpected message type {message.type!r}")
             ok, error = True, None
@@ -346,6 +358,7 @@ class KVServer:
         return {
             "connections_accepted": self.connections,
             "active_connections": len(self._writers),
+            "probes_answered": int(self._c_probes.value),
             "ops_served": self.ops_served,
             "ops_executed": self.executor.ops_executed,
             "ops_failed": self.executor.ops_failed,

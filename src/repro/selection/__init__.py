@@ -1,0 +1,48 @@
+"""Adaptive replica selection shared by the simulator and the runtime.
+
+The paper's evaluation reads every key from its primary replica; this
+package supplies the *selection* lever on top of DAS's scheduling lever:
+a common :class:`~repro.selection.base.SelectionPolicy` interface with
+blind baselines (primary / random / round-robin), sampled load balancing
+(power-of-d-choices), estimate-scored ranking (C3-style cubic penalty,
+Tars-style timeliness-aware scoring — both fed by the same
+``Feedback``/``ServerEstimates`` stream DAS consumes), and Prequal-style
+probe-pool selection with hot/cold lexicographic picking.
+
+See ``docs/selection.md`` for each policy's knobs and the sim-vs-runtime
+wiring.
+"""
+
+from repro.selection.base import SelectionPolicy
+from repro.selection.prequal import PrequalPolicy, Probe
+from repro.selection.registry import (
+    PolicyNeeds,
+    SELECTION_POLICY_NAMES,
+    create_selection_policy,
+    selection_policy_needs,
+)
+from repro.selection.scored import C3Policy, TarsPolicy
+from repro.selection.static import (
+    LeastWorkPolicy,
+    PowerOfDPolicy,
+    PrimaryPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+
+__all__ = [
+    "C3Policy",
+    "LeastWorkPolicy",
+    "PolicyNeeds",
+    "PowerOfDPolicy",
+    "PrequalPolicy",
+    "PrimaryPolicy",
+    "Probe",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SELECTION_POLICY_NAMES",
+    "SelectionPolicy",
+    "TarsPolicy",
+    "create_selection_policy",
+    "selection_policy_needs",
+]

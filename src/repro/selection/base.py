@@ -1,0 +1,106 @@
+"""The replica-selection policy interface shared by sim and runtime.
+
+A :class:`SelectionPolicy` answers one question — *which replica serves
+this GET?* — from whatever signals it declares an interest in:
+
+* ``wants_inflight`` — the caller reports every dispatch/response via
+  :meth:`on_dispatch` / :meth:`on_response`, giving the policy a local
+  requests-in-flight view and per-server latency samples;
+* ``wants_feedback`` — the caller forwards every
+  :class:`~repro.kvstore.items.Feedback` snapshot it receives via
+  :meth:`observe_feedback` (piggybacked replies, periodic broadcasts, and
+  probe replies all arrive through this one funnel);
+* ``wants_probes`` — the runtime client should additionally issue
+  control-plane ``probe`` messages to keep the policy's view fresh for
+  servers it is not currently reading from (the simulator's piggybacked
+  feedback makes explicit probes redundant there).
+
+Callers gate the hooks on these flags so the paper-default ``primary``
+policy costs nothing on the hot path.  Time is always passed in (the
+simulator's ``env.now`` or the runtime's ``time.monotonic()``); policies
+never read a clock themselves, which keeps cells deterministic under the
+parallel experiment engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Dict, Sequence
+
+
+class SelectionPolicy(abc.ABC):
+    """Chooses the replica that serves a GET, from client-local signals.
+
+    Subclasses implement :meth:`_choose`; the public :meth:`select`
+    wrapper handles the single-candidate short-circuit and pick counting.
+    All tie-breaks are ``(score, server_id)`` so selection is fully
+    deterministic given the same observation sequence.
+    """
+
+    #: Registry name (set by each concrete policy).
+    name: ClassVar[str] = "?"
+    #: True when on_dispatch/on_response carry signal for this policy.
+    wants_inflight: ClassVar[bool] = False
+    #: True when observe_feedback carries signal for this policy.
+    wants_feedback: ClassVar[bool] = False
+    #: True when the runtime should issue control-plane probes for it.
+    wants_probes: ClassVar[bool] = False
+
+    def __init__(self):
+        #: server_id -> reads routed there by this policy.
+        self.picks: Dict[int, int] = {}
+        #: server_id -> operations dispatched but not yet answered.
+        self.inflight: Dict[int, int] = {}
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, key: str, candidates: Sequence[int], now: float = 0.0) -> int:
+        """Pick the replica of ``key`` to read from, out of ``candidates``."""
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            chosen = self._choose(key, candidates, now)
+        self.decisions += 1
+        self.picks[chosen] = self.picks.get(chosen, 0) + 1
+        return chosen
+
+    @abc.abstractmethod
+    def _choose(self, key: str, candidates: Sequence[int], now: float) -> int:
+        """Policy-specific choice among >= 2 candidates."""
+
+    # ------------------------------------------------------------------
+    # Signal hooks (no-ops unless the policy wants them)
+    # ------------------------------------------------------------------
+    def on_dispatch(self, server_id: int, now: float = 0.0) -> None:
+        """An operation was just sent to ``server_id``."""
+        self.inflight[server_id] = self.inflight.get(server_id, 0) + 1
+
+    def on_response(
+        self, server_id: int, now: float = 0.0, latency: float = 0.0
+    ) -> None:
+        """A response from ``server_id`` arrived after ``latency`` seconds."""
+        remaining = self.inflight.get(server_id, 0)
+        if remaining > 0:
+            self.inflight[server_id] = remaining - 1
+
+    def observe_feedback(self, feedback, now: float = 0.0) -> None:
+        """A server feedback snapshot arrived (reply, broadcast, or probe)."""
+
+    # ------------------------------------------------------------------
+    def inflight_of(self, server_id: int) -> int:
+        """Local requests-in-flight count for ``server_id``."""
+        return self.inflight.get(server_id, 0)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able decision/pick summary for ``stats()`` surfaces."""
+        return {
+            "policy": self.name,
+            "decisions": self.decisions,
+            "picks": dict(sorted(self.picks.items())),
+            "inflight": {s: n for s, n in sorted(self.inflight.items()) if n},
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(decisions={self.decisions})"
