@@ -1,0 +1,88 @@
+"""X6 — extension (ours): chaos plans vs client resilience.
+
+Expected shape: under the crash plan, the hedged + breaker-protected
+client keeps p99 RCT within a small multiple of the healthy cell, while
+the timeout-only client pays at least one full 20 ms op-timeout on every
+request that touched the dead server — a >5x p99 gap at every scale
+(roughly 2.3 ms vs 40 ms at the default bench scale).  The remaining
+plans (partition, packet loss, slow node) must stay survivable: the run
+completes and hedging keeps their p99 below the timeout-only crash cell.
+
+A second (non-grid) pass re-runs the crash cell directly through
+:class:`~repro.kvstore.cluster.Cluster` to exercise the chaos report:
+the fault timeline must match the plan, dropped ops must be accounted,
+and time-to-recover after ``Recover`` must be measured and small.
+"""
+
+import dataclasses
+import math
+
+from benchmarks.conftest import execute_scenario, report
+
+from repro.experiments.scenarios import get_scenario
+from repro.faults.report import chaos_report
+from repro.kvstore.cluster import Cluster
+
+PLANS = ("crash", "partition", "flaky", "slownode")
+
+
+def bench_x6_chaos(benchmark, results_dir):
+    result = execute_scenario(benchmark, "X6")
+    report(result, results_dir)
+
+    p99 = {
+        x: result.cell(x, "DAS").metric("p99")
+        for x in (
+            "healthy",
+            "crash/timeout-only",
+            "crash/hedge+cb",
+            "partition/hedge+cb",
+            "flaky/hedge+cb",
+            "slownode/hedge+cb",
+        )
+    }
+    assert p99["crash/hedge+cb"] < p99["crash/timeout-only"], (
+        f"hedge+breaker p99 {p99['crash/hedge+cb']:.6f}s not below "
+        f"timeout-only p99 {p99['crash/timeout-only']:.6f}s under the crash plan"
+    )
+    # The timeout-only client eats >= one 20 ms timeout on affected
+    # requests; hedged cells must stay well clear of that regime.
+    for plan in PLANS:
+        cell = f"{plan}/hedge+cb"
+        assert p99[cell] < p99["crash/timeout-only"], (
+            f"{cell} p99 {p99[cell]:.6f}s not below the timeout-only "
+            f"crash cell {p99['crash/timeout-only']:.6f}s"
+        )
+
+
+def bench_x6_recovery(results_dir):
+    """Direct crash-cell run: timeline, loss accounting, time-to-recover."""
+    scenario = get_scenario("X6", scale=0.05)
+    point = next(p for p in scenario.points if p.x == "crash/hedge+cb")
+    config = dataclasses.replace(
+        point.config, scheduler="das", scheduler_params={}
+    )
+    cluster = Cluster(config)
+    result = cluster.run(point.sim)
+
+    plan = config.fault_plan
+    applied = [e["event"] for e in result.faults["applied"]]
+    assert applied == [e["event"] for e in plan.timeline()]
+    assert result.server_ops_dropped[0] > 0, "crash dropped nothing"
+    assert not cluster.servers[0].crashed, "server 0 still down after Recover"
+
+    rep = chaos_report(result, plan)
+    ttr = rep["time_to_recover"]
+    assert not math.isnan(ttr), "no requests arrived during the fault window"
+    assert ttr < 0.5, f"time-to-recover {ttr:.3f}s unexpectedly large"
+    lines = [
+        "crash/hedge+cb (DAS) chaos report:",
+        f"  p99 during fault : {rep['phases']['during']['p99_rct'] * 1e3:.2f} ms",
+        f"  p99 after fault  : {rep['phases']['after']['p99_rct'] * 1e3:.2f} ms",
+        f"  time-to-recover  : {ttr * 1e3:.2f} ms",
+        f"  requests lost    : {rep['requests_lost']}",
+    ]
+    text = "\n".join(lines)
+    (results_dir / "X6_recovery.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

@@ -69,6 +69,12 @@ EXPECTATIONS = {
           "power-of-d, C3, Tars, Prequal) beats both load-oblivious "
           "baselines (primary, random) on mean and P99 RCT; the scored "
           "policies cut the tail the furthest.",
+    "X6": "(ours, extension) under a mid-run crash, timeout-only "
+          "retries pay the full op-timeout on every request touching "
+          "the dead server, while quantile hedging plus a failure "
+          "detector keeps P99 within a small factor of the healthy "
+          "cell; partitions, flaky links, and slow nodes show the same "
+          "ordering.",
 }
 
 

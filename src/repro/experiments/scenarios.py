@@ -24,6 +24,16 @@ from typing import Any, Callable, Dict, Tuple
 
 from repro.core.feedback import FeedbackConfig, FeedbackMode
 from repro.errors import ConfigError
+from repro.faults import (
+    Crash,
+    FailureDetectorConfig,
+    FaultPlan,
+    HedgePolicy,
+    PacketLoss,
+    Partition,
+    Recover,
+    SlowNode,
+)
 from repro.kvstore.config import ClusterConfig, ServiceConfig, SimulationConfig
 from repro.kvstore.service import DegradationEvent
 from repro.workload.arrivals import MMPPArrivals, PoissonArrivals
@@ -703,6 +713,100 @@ def x3_scenario(scale: float = 1.0) -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# X6 — extension (ours): chaos plans vs client resilience
+# ----------------------------------------------------------------------
+def x6_scenario(scale: float = 1.0) -> Scenario:
+    """Tail RCT under a declarative fault plan × client protection matrix.
+
+    Every faulty point shares the same fault window — 30% to 60% of the
+    run — expressed as a :class:`~repro.faults.FaultPlan` (the same object
+    the runtime's ``LocalCluster.apply_fault_plan`` accepts).  The crash
+    plan is measured twice: with timeout+retry only, and with tail
+    hedging plus a per-server failure detector on top; the hedged cell
+    must beat the timeout-only cell on p99 because a hedge fires in a few
+    milliseconds while a timeout burns the full 20 ms budget per attempt.
+    Partition, packet-loss and slow-node plans round out the family.
+    Use :func:`repro.faults.report.chaos_report` on a cell's re-run for
+    phase-split p99 and time-to-recover.
+    """
+    _check_scale(scale)
+    duration = _duration(scale)
+    start, end = duration * 0.3, duration * 0.6
+    protection: Dict[str, Any] = dict(
+        replication_factor=3,
+        replica_selection="tars",
+        op_timeout=0.02,
+        max_retries=2,
+    )
+    guarded: Dict[str, Any] = dict(
+        protection,
+        hedge=HedgePolicy(percentile=95.0, min_samples=20),
+        failure_detector=FailureDetectorConfig(failure_threshold=3),
+    )
+    crash_plan = FaultPlan((Crash(0, at=start), Recover(0, at=end)))
+    variants = (
+        ("healthy", dict(guarded)),
+        ("crash/timeout-only", dict(protection, fault_plan=crash_plan)),
+        ("crash/hedge+cb", dict(guarded, fault_plan=crash_plan)),
+        (
+            "partition/hedge+cb",
+            dict(
+                guarded,
+                fault_plan=FaultPlan(
+                    (Partition(at=start, until=end, servers=(0, 1)),)
+                ),
+            ),
+        ),
+        (
+            "flaky/hedge+cb",
+            dict(
+                guarded,
+                fault_plan=FaultPlan(
+                    (
+                        PacketLoss(
+                            at=start,
+                            until=end,
+                            probability=0.3,
+                            servers=(0, 1, 2),
+                            seed=7,
+                        ),
+                    )
+                ),
+            ),
+        ),
+        (
+            "slownode/hedge+cb",
+            dict(
+                guarded,
+                fault_plan=FaultPlan(
+                    (SlowNode(0, at=start, until=end, factor=0.25),)
+                ),
+            ),
+        ),
+    )
+    points = []
+    for label, overrides in variants:
+        points.append(
+            RunPoint(
+                x=label,
+                config=_base_config(0.5, **overrides),
+                sim=SimulationConfig(duration=duration, warmup_fraction=0.0),
+            )
+        )
+    return Scenario(
+        experiment_id="X6",
+        title="Extension: chaos plans vs client resilience (hedge + breaker)",
+        x_label="fault/protection",
+        metric="p99",
+        points=tuple(points),
+        schedulers=(FCFS, DAS),
+        notes="Ours, not in the paper: one declarative FaultPlan drives "
+        "both sim and runtime; hedging + failure detection must beat "
+        "timeout-only p99 under the crash plan.",
+    )
+
+
 SCENARIOS: Dict[str, Callable[[float], Scenario]] = {
     "E1": e1_scenario,
     "E2": e2_scenario,
@@ -719,6 +823,7 @@ SCENARIOS: Dict[str, Callable[[float], Scenario]] = {
     "X1": x1_scenario,
     "X2": x2_scenario,
     "X3": x3_scenario,
+    "X6": x6_scenario,
 }
 
 

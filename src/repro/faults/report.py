@@ -1,0 +1,84 @@
+"""Chaos-run reporting: phase-split latency and time-to-recover.
+
+Chaos cells measure two things beyond an ordinary latency summary: how
+bad the tail got *while* the fault was active, and how long the cluster
+took to work off the damage *after* the plan's last event.  Both derive
+from the collector's per-request records plus the plan's fault window,
+so the report is computed after the run with no instrumentation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+
+def _p99(rcts: list) -> float:
+    if not rcts:
+        return float("nan")
+    return float(np.percentile(np.asarray(rcts, dtype=np.float64), 99))
+
+
+def phase_summary(
+    records: Iterable[Any], plan: FaultPlan
+) -> Dict[str, Any]:
+    """Split request records into before/during/after the fault window.
+
+    ``records`` are request-record-shaped objects (``arrival_time``,
+    ``completion_time``, ``rct`` — e.g.
+    :class:`~repro.metrics.collector.RequestRecord`).  Returns per-phase
+    request counts and p99 RCT, plus ``time_to_recover``: how long after
+    the window's end the last request that *arrived during the fault*
+    completed (0.0 when the backlog cleared before the fault ended;
+    NaN when no request arrived during the window).
+    """
+    window = plan.fault_window()
+    if window is None:
+        rcts = [r.rct for r in records]
+        return {
+            "fault_window": None,
+            "phases": {"all": {"requests": len(rcts), "p99_rct": _p99(rcts)}},
+            "time_to_recover": 0.0,
+        }
+    start, end = window
+    before, during, after = [], [], []
+    last_affected_completion = float("-inf")
+    for r in records:
+        if r.arrival_time < start:
+            before.append(r.rct)
+        elif r.arrival_time < end:
+            during.append(r.rct)
+            if r.completion_time > last_affected_completion:
+                last_affected_completion = r.completion_time
+        else:
+            after.append(r.rct)
+    if during:
+        time_to_recover = max(0.0, last_affected_completion - end)
+    else:
+        time_to_recover = float("nan")
+    return {
+        "fault_window": [start, end],
+        "phases": {
+            "before": {"requests": len(before), "p99_rct": _p99(before)},
+            "during": {"requests": len(during), "p99_rct": _p99(during)},
+            "after": {"requests": len(after), "p99_rct": _p99(after)},
+        },
+        "time_to_recover": time_to_recover,
+    }
+
+
+def chaos_report(result: Any, plan: FaultPlan) -> Dict[str, Any]:
+    """Full chaos report for one finished sim run.
+
+    ``result`` is a :class:`~repro.kvstore.cluster.RunResult`-shaped
+    object (duck-typed to keep this module import-light): it must expose
+    ``collector.records``, ``requests_sent`` and ``requests_completed``.
+    """
+    report = phase_summary(result.collector.records, plan)
+    report["requests_sent"] = result.requests_sent
+    report["requests_completed"] = result.requests_completed
+    report["requests_lost"] = result.requests_sent - result.requests_completed
+    return report

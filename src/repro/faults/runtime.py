@@ -1,0 +1,158 @@
+"""Runtime adapter: translate a :class:`FaultPlan` into live chaos.
+
+The same declarative plan the simulator wires into its servers and
+network model is replayed here against a
+:class:`~repro.runtime.cluster.LocalCluster` using the runtime's
+existing fault machinery:
+
+* ``Crash`` -> ``cluster.crash(sid)`` (listener closed, sockets severed,
+  executor halted without draining — queued work dies with the process);
+  ``Recover`` -> ``cluster.restart(sid)``.
+* ``Partition`` -> an :class:`~repro.runtime.faults.Outage` covering the
+  window on each partitioned server: connections refused and messages
+  swallowed, which is what an unreachable server looks like from a
+  client.  (The runtime has a single client group, so a client-scoped
+  partition degrades to a full cut; the sim models the client axis.)
+* ``PacketLoss`` -> :class:`~repro.runtime.faults.DropReplies` in
+  probability mode (same seed), installed at ``at`` and removed at
+  ``until``.
+* ``DelaySpike`` -> :class:`~repro.runtime.faults.DelayReplies` for the
+  window.
+* ``SlowNode`` -> approximated as ``DelayReplies`` with a per-message
+  delay of ``(1/factor - 1) * per_op_overhead``: the executor's service
+  rate cannot be changed live, so the slowdown is modelled at the reply
+  boundary instead of inside service.  Documented in ``docs/faults.md``.
+
+The driver appends the canonical
+:func:`~repro.faults.plan.event_record` dict — with *planned* times, so
+wall-clock jitter cannot perturb it — for every applied event, giving
+byte-identical timelines to the sim adapter for the parity test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+from repro.faults.plan import FaultPlan, SlowNode, event_record
+from repro.runtime.faults import DelayReplies, DropReplies, FaultPolicy, Outage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import LocalCluster
+
+#: Fallback per-op overhead for the SlowNode approximation when a server
+#: does not expose its executor's configured value.
+_DEFAULT_PER_OP_OVERHEAD = 50e-6
+
+
+class RuntimeFaultDriver:
+    """Replays a fault plan against a running :class:`LocalCluster`.
+
+    ``time_scale`` maps plan seconds to wall seconds (default 1.0);
+    shrink it to replay a long simulated plan quickly in an integration
+    test.  Timeline records always carry the plan's own times.
+    """
+
+    def __init__(
+        self,
+        cluster: "LocalCluster",
+        plan: FaultPlan,
+        time_scale: float = 1.0,
+    ):
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.cluster = cluster
+        self.plan = plan
+        self.time_scale = time_scale
+        #: Canonical applied-event dicts, appended as each event fires.
+        self.timeline: List[Dict[str, Any]] = []
+        #: (entry id, server) -> installed windowed policy, for removal.
+        self._installed: Dict[Tuple[int, int], FaultPolicy] = {}
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "RuntimeFaultDriver":
+        """Begin replaying the plan as a background task."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self.run())
+        return self
+
+    async def wait(self) -> None:
+        """Block until every plan event has been applied."""
+        if self._task is not None:
+            await self._task
+        else:
+            await self.run()
+
+    async def run(self) -> None:
+        """Apply every scheduled event at its (scaled) time."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        for when, _, kind, entry in self.plan.scheduled_events():
+            delay = start + when * self.time_scale - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self._apply(when, kind, entry)
+
+    # ------------------------------------------------------------------
+    def _server_policies(self, entry) -> List[int]:
+        servers = getattr(entry, "servers", None)
+        if servers is None:
+            servers = range(len(self.cluster.servers))
+        return list(servers)
+
+    def _slow_delay(self, entry: SlowNode) -> float:
+        server = self.cluster.servers[entry.server_id]
+        overhead = getattr(
+            getattr(server, "executor", None),
+            "per_op_overhead",
+            _DEFAULT_PER_OP_OVERHEAD,
+        )
+        return (1.0 / entry.factor - 1.0) * max(overhead, 1e-6)
+
+    async def _apply(self, when: float, kind: str, entry) -> None:
+        cluster = self.cluster
+        if kind == "crash":
+            await cluster.crash(entry.server_id)
+        elif kind == "recover":
+            await cluster.restart(entry.server_id)
+        elif kind == "partition_start":
+            window = (entry.until - entry.at) * self.time_scale
+            for sid in self._server_policies(entry):
+                policy = Outage(0.0, window)
+                self._installed[(id(entry), sid)] = policy
+                cluster.servers[sid].faults.add(policy)
+        elif kind == "partition_end":
+            self._remove(entry)
+        elif kind == "packet_loss_start":
+            for sid in self._server_policies(entry):
+                policy = DropReplies(probability=entry.probability, seed=entry.seed)
+                self._installed[(id(entry), sid)] = policy
+                cluster.servers[sid].faults.add(policy)
+        elif kind == "packet_loss_end":
+            self._remove(entry)
+        elif kind == "delay_spike_start":
+            for sid in self._server_policies(entry):
+                policy = DelayReplies(delay=entry.extra)
+                self._installed[(id(entry), sid)] = policy
+                cluster.servers[sid].faults.add(policy)
+        elif kind == "delay_spike_end":
+            self._remove(entry)
+        elif kind == "slow_node_start":
+            policy = DelayReplies(delay=self._slow_delay(entry))
+            self._installed[(id(entry), entry.server_id)] = policy
+            cluster.servers[entry.server_id].faults.add(policy)
+        elif kind == "slow_node_end":
+            self._remove(entry)
+        self.timeline.append(event_record(when, kind, entry))
+
+    def _remove(self, entry) -> None:
+        for (entry_id, sid), policy in list(self._installed.items()):
+            if entry_id == id(entry):
+                self.cluster.servers[sid].faults.remove(policy)
+                del self._installed[(entry_id, sid)]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Applied timeline snapshot, mirroring the sim driver's block."""
+        return {"applied": list(self.timeline)}

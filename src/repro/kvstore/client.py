@@ -10,15 +10,21 @@ the end-user view of latency.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from repro.core.estimator import ServerEstimates
+from repro.faults.resilience import (
+    CircuitBreaker,
+    FailureDetectorConfig,
+    HedgePolicy,
+    LatencyTracker,
+)
 from repro.kvstore.items import Feedback, OpKind, Operation, Request, Response
 from repro.kvstore.network import NetworkModel
 from repro.kvstore.replication import ReplicaPlacement
 from repro.kvstore.service import ServiceModel
 from repro.metrics.collector import MetricsCollector
-from repro.obs import OpSpan, RequestTrace, Tracer
+from repro.obs import OBS_FAULT, OpSpan, RequestTrace, Tracer
 from repro.schedulers.base import ClientTagger
 from repro.sim.core import Environment
 from repro.workload.requests import RequestFactory
@@ -49,11 +55,16 @@ class Client:
         op_timeout: Optional[float] = None,
         max_retries: int = 0,
         tracer: Optional[Tracer] = None,
+        hedge: Optional[HedgePolicy] = None,
+        failure_detector: Optional[FailureDetectorConfig] = None,
+        fault_state: Optional[Callable[[], tuple]] = None,
     ):
         if op_timeout is not None and op_timeout <= 0:
             raise ValueError("op_timeout must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if failure_detector is not None and op_timeout is None:
+            raise ValueError("failure_detector requires op_timeout")
         self.env = env
         self.client_id = client_id
         self.factory = factory
@@ -72,6 +83,9 @@ class Client:
         self.op_timeout = op_timeout
         self.max_retries = max_retries
         self.tracer = tracer
+        self.hedge = hedge
+        self.failure_detector = failure_detector
+        self.fault_state = fault_state
         # Hot-path gates: only adaptive selection policies pay for the
         # per-op dispatch/response forwarding (primary reads skip it all).
         self._track_inflight = placement.wants_inflight
@@ -80,12 +94,27 @@ class Client:
         self.requests_completed = 0
         self.retries_sent = 0
         self.timeouts_observed = 0
+        self.timers_cancelled = 0
+        self.hedges_sent = 0
+        self.hedges_won = 0
+        self.breaker_opens = 0
         self.generation_done = False
         #: request_id -> indexes of operations still awaiting a response.
         self._pending: Dict[int, set] = {}
         self._inflight: Dict[int, Request] = {}
         #: (request_id, index) -> attempts made so far (1 = original send).
         self._attempts: Dict[tuple, int] = {}
+        #: (request_id, index) -> the latest armed op-timeout timer; the
+        #: response path poisons it so stale timers never even fire.
+        self._op_timers: Dict[tuple, object] = {}
+        #: (request_id, index) -> pending hedge timer.
+        self._hedge_timers: Dict[tuple, object] = {}
+        #: (request_id, index) -> server ids already sent a hedge.
+        self._hedged: Dict[tuple, Set[int]] = {}
+        #: Sub-op latency window feeding the hedge threshold.
+        self._latency = LatencyTracker() if hedge is not None else None
+        #: server_id -> failure-detector breaker (created on first failure).
+        self._breakers: Dict[int, CircuitBreaker] = {}
         self.process = env.process(self._generate())
 
     # ------------------------------------------------------------------
@@ -146,7 +175,7 @@ class Client:
             self._attempts[(request.request_id, op.index)] = 1
             self._send_op(op)
 
-    def _send_op(self, op: Operation) -> None:
+    def _send_op(self, op: Operation, is_hedge: bool = False) -> None:
         now = self.env.now
         op.dispatch_time = now
         if self._track_inflight:
@@ -159,24 +188,42 @@ class Client:
             server.handle_operation,
             size_bytes=len(op.key),
         )
+        if is_hedge:
+            return  # hedges ride on the primary's timeout/retry machinery
         if self.op_timeout is not None:
             self._arm_timeout(op)
+        if (
+            self.hedge is not None
+            and op.kind is OpKind.GET
+            and self._attempts[(op.request_id, op.index)] == 1
+        ):
+            self._arm_hedge(op)
 
     def _arm_timeout(self, op: Operation) -> None:
         key = (op.request_id, op.index)
         attempt = self._attempts[key]
         timer = self.env.pooled_timeout(self.op_timeout)
+        self._op_timers[key] = timer
         timer.callbacks.append(
-            lambda _event: self._on_op_timeout(op, attempt)
+            lambda _event, timer=timer: self._fire_op_timeout(op, attempt, timer)
         )
+
+    def _fire_op_timeout(self, op: Operation, attempt: int, timer) -> None:
+        # Drop our own registration first: a fired (soon recycled) timer
+        # must never be poisoned by a late response.
+        key = (op.request_id, op.index)
+        if self._op_timers.get(key) is timer:
+            del self._op_timers[key]
+        self._on_op_timeout(op, attempt)
 
     def _on_op_timeout(self, op: Operation, attempt: int) -> None:
         """Retry an operation whose response did not arrive in time.
 
         A stale timer (the response arrived, or a newer attempt is already
         out) is ignored.  The retry goes to the next replica in the key's
-        preference list, so a single-server outage is survivable when the
-        key is replicated.
+        preference list — skipping replicas whose circuit breaker is open
+        when a failure detector is configured — so a single-server outage
+        or crash is survivable when the key is replicated.
         """
         key = (op.request_id, op.index)
         outstanding = self._pending.get(op.request_id)
@@ -185,11 +232,21 @@ class Client:
         if self._attempts.get(key) != attempt:
             return  # a newer attempt owns this slot
         self.timeouts_observed += 1
+        if self.failure_detector is not None:
+            self._record_failure(op.server_id)
         if attempt > self.max_retries:
             return  # retry budget exhausted; wait for the original
         self._attempts[key] = attempt + 1
         replicas = self.placement.replicas(op.key)
         target = replicas[attempt % len(replicas)]
+        if self.failure_detector is not None:
+            now = self.env.now
+            for shift in range(len(replicas)):
+                candidate = replicas[(attempt + shift) % len(replicas)]
+                breaker = self._breakers.get(candidate)
+                if breaker is None or breaker.allow(now):
+                    target = candidate
+                    break
         retry = Operation(
             request=op.request,
             key=op.key,
@@ -204,6 +261,100 @@ class Client:
         self._send_op(retry)
 
     # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+    def _arm_hedge(self, op: Operation) -> None:
+        threshold = self.hedge.threshold(self._latency)
+        if threshold is None:
+            return  # not enough latency signal yet
+        if self.op_timeout is not None and threshold >= self.op_timeout:
+            return  # the timeout/retry path would fire first anyway
+        key = (op.request_id, op.index)
+        timer = self.env.pooled_timeout(threshold)
+        self._hedge_timers[key] = timer
+        timer.callbacks.append(
+            lambda _event, timer=timer: self._fire_hedge(op, timer)
+        )
+
+    def _fire_hedge(self, op: Operation, timer) -> None:
+        key = (op.request_id, op.index)
+        if self._hedge_timers.get(key) is not timer:
+            return  # superseded
+        del self._hedge_timers[key]
+        outstanding = self._pending.get(op.request_id)
+        if outstanding is None or op.index not in outstanding:
+            return  # already answered
+        used = self._hedged.setdefault(key, set())
+        if len(used) >= self.hedge.max_hedges:
+            return
+        target = self._pick_backup(op, used)
+        if target is None:
+            return  # no healthy second replica
+        used.add(target)
+        hedge_op = Operation(
+            request=op.request,
+            key=op.key,
+            kind=op.kind,
+            value_size=op.value_size,
+            server_id=target,
+            demand=op.demand,
+            tag=dict(op.tag),
+            index=op.index,
+        )
+        self.hedges_sent += 1
+        self._send_op(hedge_op, is_hedge=True)
+        if len(used) < self.hedge.max_hedges:
+            self._arm_hedge(op)
+
+    def _pick_backup(self, op: Operation, used: Set[int]) -> Optional[int]:
+        """First replica that is not the primary, not already hedged to,
+        and whose breaker (if any) admits traffic."""
+        now = self.env.now
+        for candidate in self.placement.replicas(op.key):
+            if candidate == op.server_id or candidate in used:
+                continue
+            breaker = self._breakers.get(candidate)
+            if breaker is not None and not breaker.allow(now):
+                continue
+            return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def _record_failure(self, server_id: int) -> None:
+        breaker = self._breakers.get(server_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_detector.failure_threshold,
+                reset_timeout=self.failure_detector.reset_timeout,
+            )
+            self._breakers[server_id] = breaker
+        if breaker.record_failure(self.env.now):
+            self.breaker_opens += 1
+            self._mark_unhealthy(server_id)
+
+    def _mark_unhealthy(self, server_id: int) -> None:
+        """Feed a synthetic worst-case snapshot into estimates/selection.
+
+        Mirrors the runtime client: an opened breaker makes the server
+        look saturated and slow, so DAS tagging and adaptive replica
+        selection route around it without a dedicated health channel.
+        """
+        fd = self.failure_detector
+        feedback = Feedback(
+            server_id=server_id,
+            queued_work=fd.unhealthy_queued_work,
+            queue_length=fd.unhealthy_queue_length,
+            rate_sample=fd.unhealthy_rate,
+            timestamp=self.env.now,
+        )
+        if self.estimates is not None:
+            self.estimates.observe(feedback)
+        if self._track_selection_feedback:
+            self.placement.observe_feedback(feedback)
+
+    # ------------------------------------------------------------------
     # Response handling
     # ------------------------------------------------------------------
     def handle_response(self, response: Response) -> None:
@@ -213,6 +364,11 @@ class Client:
         op.response_time = now
         if self._track_inflight:
             self.placement.record_response(op.server_id, now - op.dispatch_time)
+        if self._latency is not None:
+            self._latency.record(now - op.dispatch_time)
+        breaker = self._breakers.get(op.server_id)
+        if breaker is not None:
+            breaker.record_success()
         if response.feedback is not None:
             if self.estimates is not None:
                 self.estimates.observe(response.feedback)
@@ -223,8 +379,22 @@ class Client:
         outstanding = self._pending.get(op.request_id)
         if outstanding is None or op.index not in outstanding:
             return  # duplicate (late original after a successful retry)
+        key = (op.request_id, op.index)
+        timer = self._op_timers.pop(key, None)
+        if timer is not None and timer.callbacks is not None:
+            # Poison the pending pooled timer: it fires as a no-op and is
+            # recycled without ever entering the timeout path.
+            timer.callbacks.clear()
+            self.timers_cancelled += 1
+        hedge_timer = self._hedge_timers.pop(key, None)
+        if hedge_timer is not None and hedge_timer.callbacks is not None:
+            hedge_timer.callbacks.clear()
+            self.timers_cancelled += 1
+        hedged_to = self._hedged.pop(key, None)
+        if hedged_to and op.server_id in hedged_to:
+            self.hedges_won += 1
         outstanding.discard(op.index)
-        self._attempts.pop((op.request_id, op.index), None)
+        self._attempts.pop(key, None)
         # Record the finish on the canonical operation so request-level
         # accounting (remaining, residual) sees retried ops as done.
         request = self._inflight[op.request_id]
@@ -240,16 +410,21 @@ class Client:
         self.requests_completed += 1
         self.metrics.record_request(request)
         if self.tracer is not None and self.tracer.should_sample():
+            meta = {
+                "client": self.client_id,
+                "keys": len(request.operations),
+            }
+            if self.fault_state is not None:
+                active = self.fault_state()
+                if active:
+                    meta[OBS_FAULT] = ",".join(active)
             self.tracer.record(
                 RequestTrace(
                     request_id=request.request_id,
                     tag_time=request.arrival_time,
                     reply_time=now,
                     ops=[OpSpan.from_op(op) for op in request.operations],
-                    meta={
-                        "client": self.client_id,
-                        "keys": len(request.operations),
-                    },
+                    meta=meta,
                 )
             )
         if self._on_finished is not None:

@@ -2,19 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.estimator import ServerEstimates
 from repro.core.feedback import FeedbackMode
 from repro.errors import ConfigError
+from repro.faults.sim import SimFaultDriver
 from repro.kvstore.client import Client
 from repro.kvstore.config import ClusterConfig, SimulationConfig
 from repro.kvstore.network import UniformLatencyNetwork
 from repro.kvstore.partitioning import ConsistentHashRing
 from repro.kvstore.replication import ReplicaPlacement
 from repro.kvstore.server import Server, make_periodic_broadcaster
-from repro.kvstore.service import ServiceModel
+from repro.kvstore.service import DegradationEvent, ServiceModel
 from repro.kvstore.storage import StorageEngine
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import SummaryStats
@@ -48,12 +49,19 @@ class RunResult:
     #: with ``registry.snapshot()`` / ``tracer.as_dicts()``).
     registry: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    #: Per-server failure/loss accounting (indexed by server id): ops that
+    #: executed but failed (e.g. missing key), and ops dropped by crashes.
+    server_ops_failed: List[int] = field(default_factory=list)
+    server_ops_dropped: List[int] = field(default_factory=list)
+    #: Fault-plan timeline + fault-state snapshot ({} on healthy runs).
+    faults: Dict[str, Any] = field(default_factory=dict)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """JSON-able registry + trace snapshot of the finished run."""
         return {
             "metrics": self.registry.snapshot() if self.registry else {},
             "traces": self.tracer.as_dicts() if self.tracer else [],
+            "faults": self.faults,
         }
 
     def summary(self) -> SummaryStats:
@@ -126,6 +134,19 @@ class Cluster:
             self.servers[sid] = self._build_server(sid)
         self._preload_storage()
 
+        #: Fault-plan driver (None on healthy runs): crashes/recovers
+        #: servers and toggles link faults at the plan's times.
+        self.fault_driver: Optional[SimFaultDriver] = None
+        if config.fault_plan:
+            self.fault_driver = SimFaultDriver(
+                self.env,
+                config.fault_plan,
+                self.servers,
+                self.network,
+                registry=self.registry,
+            )
+        self._register_fault_gauges()
+
         self.clients: List[Client] = []
         self._done_event = self.env.event()
         for cid in range(config.n_clients):
@@ -146,11 +167,19 @@ class Cluster:
         noise_rng = (
             self.streams.stream(f"service/{sid}") if cfg.service.noise_cv > 0 else None
         )
+        degradations = cfg.degradations.get(sid, ())
+        slow_steps = cfg.fault_plan.slow_windows(sid) if cfg.fault_plan else ()
+        if slow_steps:
+            # SlowNode faults become exact service-speed steps (config
+            # validation forbids mixing them with explicit degradations).
+            degradations = tuple(
+                DegradationEvent(time=t, factor=f) for t, f in slow_steps
+            )
         service = ServiceModel(
             per_op_overhead=cfg.service.per_op_overhead,
             byte_rate=cfg.service.byte_rate,
             base_speed=base_speed,
-            degradations=cfg.degradations.get(sid, ()),
+            degradations=degradations,
             noise_cv=cfg.service.noise_cv,
             rng=noise_rng,
         )
@@ -254,6 +283,13 @@ class Cluster:
             op_timeout=cfg.op_timeout,
             max_retries=cfg.max_retries,
             tracer=self.tracer if self.tracer.enabled else None,
+            hedge=cfg.hedge,
+            failure_detector=cfg.failure_detector,
+            fault_state=(
+                self.fault_driver.active_kinds
+                if self.fault_driver is not None
+                else None
+            ),
         )
 
     def _start_periodic_feedback(self) -> None:
@@ -281,6 +317,58 @@ class Cluster:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def _register_fault_gauges(self) -> None:
+        """Expose per-server failure/loss counters and network drops."""
+        for sid, server in self.servers.items():
+            self.registry.gauge(
+                "server_ops_failed",
+                "Operations that executed but failed (e.g. missing key)",
+                fn=lambda s=server: float(s.ops_failed),
+                server=str(sid),
+            )
+            self.registry.gauge(
+                "server_ops_dropped",
+                "Operations lost to crashes (queued, in-service, or refused)",
+                fn=lambda s=server: float(s.ops_dropped),
+                server=str(sid),
+            )
+        self.registry.gauge(
+            "network_messages_dropped",
+            "Messages dropped by active link faults (partition or loss)",
+            fn=lambda n=self.network: float(n.messages_dropped),
+        )
+
+    def fault_stats(self) -> Dict[str, Any]:
+        """Fault timeline + loss accounting, {} when no plan is configured.
+
+        Shaped like :meth:`selection_stats`: a JSON-able snapshot suitable
+        for run artifacts and the sim/runtime parity test.
+        """
+        if self.fault_driver is None:
+            return {}
+        stats = self.fault_driver.stats()
+        stats["servers"] = {
+            sid: {
+                "crashed": server.crashed,
+                "crashes": server.crashes,
+                "ops_dropped": server.ops_dropped,
+                "ops_failed": server.ops_failed,
+            }
+            for sid, server in self.servers.items()
+        }
+        stats["clients"] = {
+            client.client_id: {
+                "timeouts_observed": client.timeouts_observed,
+                "retries_sent": client.retries_sent,
+                "hedges_sent": client.hedges_sent,
+                "hedges_won": client.hedges_won,
+                "breaker_opens": client.breaker_opens,
+                "timers_cancelled": client.timers_cancelled,
+            }
+            for client in self.clients
+        }
+        return stats
+
     def selection_stats(self) -> Dict[int, Dict[str, Any]]:
         """Per-client replica-selection summary (policy, picks, probes)."""
         return {
@@ -325,6 +413,9 @@ class Cluster:
             requests_completed=sum(c.requests_completed for c in self.clients),
             registry=self.registry,
             tracer=self.tracer,
+            server_ops_failed=[s.ops_failed for s in self.servers.values()],
+            server_ops_dropped=[s.ops_dropped for s in self.servers.values()],
+            faults=self.fault_stats(),
         )
 
 

@@ -7,6 +7,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.feedback import FeedbackConfig
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, SlowNode
+from repro.faults.resilience import FailureDetectorConfig, HedgePolicy
 from repro.kvstore.service import DegradationEvent
 from repro.workload.arrivals import ArrivalSpec, PoissonArrivals
 from repro.workload.fanout import FanoutSpec, GeometricFanout
@@ -89,6 +91,14 @@ class ClusterConfig:
     op_timeout: Optional[float] = None
     #: Retries per operation after the original send (0 = no retries).
     max_retries: int = 0
+    #: Declarative fault plan (crashes, partitions, loss, delay spikes,
+    #: slow nodes) the cluster wires into servers and the network model.
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Tail hedging: duplicate slow GETs onto a second replica.
+    hedge: Optional[HedgePolicy] = None
+    #: Per-server failure detector / circuit breaker; requires op_timeout
+    #: (the detector is driven by observed op timeouts).
+    failure_detector: Optional[FailureDetectorConfig] = None
 
     def __post_init__(self):
         if self.n_servers < 1:
@@ -125,6 +135,19 @@ class ClusterConfig:
             raise ConfigError("max_retries > 0 requires op_timeout")
         if self.replication_factor > self.n_servers:
             raise ConfigError("replication_factor exceeds n_servers")
+        if self.fault_plan:
+            self.fault_plan.validate_for(self.n_servers, self.n_clients)
+            for entry in self.fault_plan.entries:
+                if (
+                    isinstance(entry, SlowNode)
+                    and entry.server_id in self.degradations
+                ):
+                    raise ConfigError(
+                        f"server {entry.server_id} has both a SlowNode fault "
+                        "and explicit degradations; use one or the other"
+                    )
+        if self.failure_detector is not None and self.op_timeout is None:
+            raise ConfigError("failure_detector requires op_timeout")
         # Validate the policy name at config time rather than deep inside
         # cluster assembly.  Imported here to keep the config module free
         # of a hard dependency for type checking.

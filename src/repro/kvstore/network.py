@@ -35,6 +35,10 @@ class NetworkModel:
         self.env = env
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`~repro.faults.sim.LinkFaults` installed by a
+        #: fault driver; consulted per message when present.
+        self.faults = None
+        self.messages_dropped = 0
 
     def delay(self, src: Hashable, dst: Hashable) -> float:
         """One-way delay for a message from ``src`` to ``dst``."""
@@ -50,13 +54,20 @@ class NetworkModel:
     ) -> float:
         """Deliver ``payload`` to ``handler`` after the sampled delay.
 
-        Returns the sampled delay (useful for tests and tracing).
+        Returns the sampled delay (useful for tests and tracing);
+        ``inf`` means the message was dropped by an active link fault.
         """
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         d = self.delay(src, dst)
         if d < 0:
             raise ConfigError(f"sampled negative delay {d}")
+        if self.faults is not None and self.faults.active:
+            extra = self.faults.verdict(src, dst)
+            if extra == float("inf"):
+                self.messages_dropped += 1
+                return extra
+            d += extra
         if d == 0:
             # Still go through the event queue for deterministic ordering.
             ev = self.env.event()

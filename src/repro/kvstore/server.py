@@ -10,6 +10,7 @@ with optional piggybacked feedback.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.estimator import EwmaEstimator
@@ -50,11 +51,20 @@ class Server:
         #: Fault-injection windows: during an ``(start, end)`` outage the
         #: server serves nothing; queued operations wait it out.  An
         #: in-flight operation started before the outage still completes
-        #: (non-preemptive service).
-        self.outages = tuple(sorted(outages))
-        for start, end in self.outages:
+        #: (non-preemptive service).  Windows are validated, sorted, and
+        #: overlapping/contiguous ones merged so the lookup can bisect.
+        windows = sorted(tuple(w) for w in outages)
+        for start, end in windows:
             if end <= start or start < 0:
                 raise ValueError(f"invalid outage window ({start}, {end})")
+        merged: list[tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self.outages = tuple(merged)
+        self._outage_starts = [w[0] for w in merged]
         #: client_id -> Client, wired by the cluster after construction.
         self.clients: dict[int, "Client"] = {}
 
@@ -62,8 +72,16 @@ class Server:
         self._current_finish: Optional[float] = None
         self._rate_ewma = EwmaEstimator(rate_alpha, initial=service.base_speed)
 
+        #: Hard-crash lifecycle (driven by a fault plan): unlike an
+        #: outage, a crash *loses* queued operations and refuses new ones
+        #: until :meth:`recover`.
+        self.crashed = False
+        self.crashes = 0
+        self._recover_event = None
+
         self.ops_served = 0
         self.ops_failed = 0
+        self.ops_dropped = 0
         self.busy_time = 0.0
         self.process = env.process(self._run())
 
@@ -72,27 +90,68 @@ class Server:
     # ------------------------------------------------------------------
     def handle_operation(self, op: Operation) -> None:
         """Network delivery point for a dispatched operation."""
+        if self.crashed:
+            # A dead process accepts nothing; the op vanishes and the
+            # client's timeout (or hedge) has to notice.
+            self.ops_dropped += 1
+            return
         self.queue.push(op, self.env.now)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
 
     # ------------------------------------------------------------------
+    # Crash / recover lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Hard-kill the server: queued operations are dropped.
+
+        This is the fault-plan ``Crash`` semantic — stronger than an
+        outage window, which merely parks the queue.  An operation in
+        service when the crash lands also dies (detected by the service
+        loop via the ``crashes`` epoch).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        now = self.env.now
+        while len(self.queue):
+            self.queue.pop(now)
+            self.ops_dropped += 1
+        self._recover_event = self.env.event()
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def recover(self) -> None:
+        """Bring a crashed server back, empty-queued, ready to serve."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        event = self._recover_event
+        self._recover_event = None
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    # ------------------------------------------------------------------
     # Service loop
     # ------------------------------------------------------------------
     def _outage_end(self, now: float) -> Optional[float]:
-        """End of the outage covering ``now``, or None when up."""
-        if not self.outages:
-            return None
-        for start, end in self.outages:
-            if start <= now < end:
-                return end
-            if start > now:
-                break
+        """End of the outage covering ``now``, or None when up.
+
+        Windows are merged and sorted at construction, so the covering
+        window (if any) is the one with the greatest start <= now.
+        """
+        i = bisect_right(self._outage_starts, now) - 1
+        if i >= 0 and now < self.outages[i][1]:
+            return self.outages[i][1]
         return None
 
     def _run(self):
         env = self.env
         while True:
+            if self.crashed:
+                yield self._recover_event
+                continue
             outage_end = self._outage_end(env.now)
             if outage_end is not None:
                 yield env.pooled_timeout(outage_end - env.now)
@@ -104,12 +163,17 @@ class Server:
                 continue
             op = self.queue.pop(env.now)
             op.start_time = env.now
+            epoch = self.crashes
             ok, size = self._execute(op)
             service_time = self.service.sample_service_time(size, env.now)
             self._current_finish = env.now + service_time
             yield env.pooled_timeout(service_time)
-            op.finish_time = env.now
             self._current_finish = None
+            if self.crashes != epoch:
+                # The process died mid-service; the op dies with it.
+                self.ops_dropped += 1
+                continue
+            op.finish_time = env.now
             self.busy_time += service_time
             # Learn our own effective rate from the completed operation.
             observed = self.service.rate_sample(op.demand, service_time)
@@ -220,6 +284,10 @@ def make_periodic_broadcaster(
     def _broadcast():
         while True:
             yield env.pooled_timeout(interval)
+            if server.crashed:
+                # A dead server gossips nothing; clients keep their last
+                # (stale) view until the failure detector marks it.
+                continue
             deliver(server.make_feedback())
 
     return _broadcast()

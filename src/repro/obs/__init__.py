@@ -8,6 +8,7 @@ from repro.obs.bridge import register_queue_gauges
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     OBS_BAND,
+    OBS_FAULT,
     OBS_PROMOTED,
     OBS_THRESHOLD,
     TRACE_REQUESTED,
@@ -22,6 +23,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "OBS_BAND",
+    "OBS_FAULT",
     "OBS_PROMOTED",
     "OBS_THRESHOLD",
     "OpSpan",

@@ -35,8 +35,16 @@ OBS_BAND = "obs.band"
 OBS_THRESHOLD = "obs.threshold"
 OBS_PROMOTED = "obs.promoted"
 
+#: Trace meta key listing the fault kinds active when a request completed
+#: (comma-joined, e.g. ``"crash,packet_loss"``); set only during chaos runs.
+OBS_FAULT = "obs.fault"
+
 #: Tag key a client sets to ask servers to return span timestamps.
 TRACE_REQUESTED = "trace"
+
+
+def _none_if_nan(value: float) -> Optional[float]:
+    return None if math.isnan(value) else value
 
 
 @dataclass
@@ -99,7 +107,16 @@ class RequestTrace:
         return True
 
     def as_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        # Unset timestamps are NaN internally; export them as None so the
+        # dicts compare equal across process boundaries (NaN != NaN breaks
+        # parallel-vs-sequential identity checks) and serialize to valid
+        # strict JSON (null, not the nonstandard NaN token).
+        out = asdict(self)
+        out["reply_time"] = _none_if_nan(out["reply_time"])
+        for op in out["ops"]:
+            for when in ("enqueue", "service_start", "service_end"):
+                op[when] = _none_if_nan(op[when])
+        return out
 
 
 class Tracer:

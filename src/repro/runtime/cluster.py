@@ -70,6 +70,7 @@ class LocalCluster:
         self._selection_params = selection_params
         self.client: Optional[RuntimeClient] = None
         self._extra_clients: List[RuntimeClient] = []
+        self._fault_driver = None
 
     async def start(self) -> "LocalCluster":
         await asyncio.gather(*(s.start() for s in self.servers))
@@ -133,6 +134,22 @@ class LocalCluster:
         """Bring a crashed server back on its original port."""
         await self.servers[server_id].restart()
 
+    def apply_fault_plan(self, plan, time_scale: float = 1.0):
+        """Replay a declarative :class:`~repro.faults.plan.FaultPlan`.
+
+        The same plan object the simulator accepts via
+        ``ClusterConfig.fault_plan`` is translated here into the runtime's
+        fault machinery (crash/restart calls and per-server
+        ``FaultInjector`` policies).  Returns the started
+        :class:`~repro.faults.runtime.RuntimeFaultDriver`; ``await
+        driver.wait()`` to block until the last event has been applied.
+        """
+        from repro.faults.runtime import RuntimeFaultDriver
+
+        plan.validate_for(len(self.servers), n_clients=1)
+        self._fault_driver = RuntimeFaultDriver(self, plan, time_scale=time_scale)
+        return self._fault_driver.start()
+
     # ------------------------------------------------------------------
     async def preload(
         self, items: Dict[str, bytes], concurrency: int = 32
@@ -155,10 +172,13 @@ class LocalCluster:
 
     def stats(self) -> Dict[str, Any]:
         """Per-server and client counter snapshot for chaos-run reporting."""
-        return {
+        stats = {
             "servers": {s.server_id: s.stats() for s in self.servers},
             "client": self.client.stats() if self.client is not None else {},
         }
+        if self._fault_driver is not None:
+            stats["fault_plan"] = self._fault_driver.stats()
+        return stats
 
     # ------------------------------------------------------------------
     # Observability export

@@ -228,6 +228,13 @@ class FaultInjector:
         policy.arm(time.monotonic() if now is None else now)
         self.policies.append(policy)
 
+    def remove(self, policy: FaultPolicy) -> None:
+        """Uninstall one policy; a no-op if it is not (or no longer) armed."""
+        try:
+            self.policies.remove(policy)
+        except ValueError:
+            pass
+
     def clear(self) -> None:
         self.policies.clear()
 

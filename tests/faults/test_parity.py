@@ -1,0 +1,128 @@
+"""Sim/runtime parity: one FaultPlan drives both halves identically.
+
+The acceptance test for the shared fault subsystem: the same plan object
+applied to the simulated :class:`Cluster` (via ``ClusterConfig``) and to
+the asyncio :class:`LocalCluster` (via ``apply_fault_plan``) must produce
+the *same* fault timeline in their stats snapshots — same events, same
+order, same (planned) times — and both must expose it through their
+reporting surfaces.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults import (
+    Crash,
+    DelaySpike,
+    FaultPlan,
+    PacketLoss,
+    Partition,
+    Recover,
+    SlowNode,
+)
+from repro.faults.runtime import RuntimeFaultDriver
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.config import SimulationConfig
+from repro.runtime import DelayReplies, DropReplies, LocalCluster, Outage
+
+from tests.conftest import small_config
+
+#: One entry of every kind, interleaved, on a 4-server cluster.
+PLAN = FaultPlan(
+    (
+        Crash(0, at=0.05),
+        Recover(0, at=0.20),
+        Partition(at=0.08, until=0.16, servers=(1,)),
+        PacketLoss(at=0.10, until=0.18, probability=0.5, servers=(2,), seed=5),
+        DelaySpike(at=0.12, until=0.22, extra=0.002, servers=(3,)),
+        SlowNode(2, at=0.02, until=0.24, factor=0.5),
+    )
+)
+
+
+def sim_timeline(plan):
+    config = small_config(load=0.2, seed=9, fault_plan=plan)
+    cluster = Cluster(config)
+    result = cluster.run(SimulationConfig(duration=0.3, warmup_fraction=0.0))
+    return result.faults["applied"]
+
+
+def runtime_timeline(plan, time_scale=0.2):
+    async def scenario():
+        async with LocalCluster(n_servers=4) as cluster:
+            driver = cluster.apply_fault_plan(plan, time_scale=time_scale)
+            await driver.wait()
+            return cluster.stats()["fault_plan"]["applied"]
+
+    return asyncio.run(scenario())
+
+
+class TestTimelineParity:
+    def test_same_plan_same_timeline(self):
+        sim = sim_timeline(PLAN)
+        runtime = runtime_timeline(PLAN)
+        assert sim == runtime
+        assert sim == PLAN.timeline()
+
+    def test_timelines_carry_planned_times(self):
+        # Both adapters record the plan's own times, immune to wall-clock
+        # jitter; scaling the replay speed must not change the record.
+        fast = runtime_timeline(PLAN, time_scale=0.1)
+        assert [e["at"] for e in fast] == [
+            e[0] for e in PLAN.scheduled_events()
+        ]
+
+
+class TestRuntimeTranslation:
+    def test_policies_installed_and_removed(self):
+        plan = FaultPlan(
+            (
+                Partition(at=0.0, until=0.05, servers=(1,)),
+                PacketLoss(at=0.0, until=0.05, probability=0.5, servers=(2,)),
+                DelaySpike(at=0.0, until=0.05, extra=0.001, servers=(3,)),
+            )
+        )
+
+        async def scenario():
+            async with LocalCluster(n_servers=4) as cluster:
+                driver = RuntimeFaultDriver(cluster, plan, time_scale=1.0)
+                task = asyncio.get_running_loop().create_task(driver.run())
+                await asyncio.sleep(0.02)
+                mid = {
+                    sid: [type(p) for p in cluster.servers[sid].faults.policies]
+                    for sid in (1, 2, 3)
+                }
+                await task
+                end = {
+                    sid: list(cluster.servers[sid].faults.policies)
+                    for sid in (1, 2, 3)
+                }
+                return mid, end
+
+        mid, end = asyncio.run(scenario())
+        assert Outage in mid[1]
+        assert DropReplies in mid[2]
+        assert DelayReplies in mid[3]
+        assert all(not policies for policies in end.values())
+
+    def test_crash_recover_round_trip(self):
+        plan = FaultPlan((Crash(1, at=0.0), Recover(1, at=0.05)))
+
+        async def scenario():
+            async with LocalCluster(n_servers=2) as cluster:
+                driver = cluster.apply_fault_plan(plan, time_scale=1.0)
+                await driver.wait()
+                # Server is back: a write to it must succeed.
+                await cluster.client.put("probe", b"x")
+                return await cluster.client.get("probe")
+
+        assert asyncio.run(scenario()) == b"x"
+
+    def test_invalid_time_scale_rejected(self):
+        async def scenario():
+            async with LocalCluster(n_servers=2) as cluster:
+                with pytest.raises(ValueError):
+                    RuntimeFaultDriver(cluster, PLAN, time_scale=0.0)
+
+        asyncio.run(scenario())

@@ -1,0 +1,183 @@
+"""Sim-client resilience: hedging, failure detection, timer poisoning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    Crash,
+    FailureDetectorConfig,
+    FaultPlan,
+    HedgePolicy,
+    Recover,
+)
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.config import SimulationConfig
+
+from tests.conftest import small_config
+
+
+def guarded_config(**overrides):
+    return small_config(
+        load=0.3,
+        seed=9,
+        replication_factor=overrides.pop("replication_factor", 3),
+        op_timeout=overrides.pop("op_timeout", 0.02),
+        max_retries=overrides.pop("max_retries", 2),
+        **overrides,
+    )
+
+
+class TestConfigValidation:
+    def test_failure_detector_requires_timeout(self):
+        with pytest.raises(ConfigError):
+            small_config(failure_detector=FailureDetectorConfig())
+
+    def test_detector_config_bounds(self):
+        with pytest.raises(ConfigError):
+            FailureDetectorConfig(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            FailureDetectorConfig(reset_timeout=0.0)
+
+
+class TestHedging:
+    def test_hedges_fire_and_win_under_crash(self):
+        plan = FaultPlan((Crash(0, at=0.2), Recover(0, at=0.6)))
+        config = guarded_config(
+            hedge=HedgePolicy(percentile=95.0, min_samples=20),
+            fault_plan=plan,
+        )
+        cluster = Cluster(config)
+        result = cluster.run(SimulationConfig(duration=1.0, warmup_fraction=0.0))
+        hedges = sum(c.hedges_sent for c in cluster.clients)
+        won = sum(c.hedges_won for c in cluster.clients)
+        assert hedges > 0
+        assert 0 < won <= hedges
+        assert result.requests_completed == result.requests_sent
+
+    def test_hedging_beats_timeout_only_on_p99(self):
+        plan = FaultPlan((Crash(0, at=0.2), Recover(0, at=0.6)))
+        sim = SimulationConfig(duration=1.0, warmup_fraction=0.0)
+        timeout_only = Cluster(guarded_config(fault_plan=plan)).run(sim)
+        hedged = Cluster(
+            guarded_config(
+                hedge=HedgePolicy(percentile=95.0, min_samples=20),
+                failure_detector=FailureDetectorConfig(failure_threshold=3),
+                fault_plan=plan,
+            )
+        ).run(sim)
+        assert hedged.percentile(99) < timeout_only.percentile(99)
+
+    def test_no_hedges_on_single_replica(self):
+        config = small_config(
+            load=0.3,
+            seed=9,
+            replication_factor=1,
+            op_timeout=0.02,
+            hedge=HedgePolicy(hedge_after=0.0005),
+        )
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(max_requests=200))
+        assert sum(c.hedges_sent for c in cluster.clients) == 0
+
+    def test_fixed_threshold_hedges_on_healthy_cluster(self):
+        # An aggressive fixed hedge delay fires on ordinary service times.
+        config = guarded_config(hedge=HedgePolicy(hedge_after=0.0005))
+        cluster = Cluster(config)
+        result = cluster.run(SimulationConfig(max_requests=300))
+        assert sum(c.hedges_sent for c in cluster.clients) > 0
+        assert result.requests_completed == 300
+
+
+class TestFailureDetector:
+    def test_breaker_opens_under_sustained_crash(self):
+        plan = FaultPlan((Crash(0, at=0.1),))  # never recovers
+        config = guarded_config(
+            failure_detector=FailureDetectorConfig(failure_threshold=3),
+            fault_plan=plan,
+        )
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(duration=0.8, warmup_fraction=0.0))
+        opens = sum(c.breaker_opens for c in cluster.clients)
+        assert opens > 0
+        open_breakers = [
+            b
+            for c in cluster.clients
+            for sid, b in c._breakers.items()
+            if sid == 0 and b.state == b.OPEN
+        ]
+        assert open_breakers, "no client holds an open breaker for server 0"
+
+    def test_open_breaker_marks_server_unhealthy_in_estimates(self):
+        plan = FaultPlan((Crash(0, at=0.1),))
+        fd = FailureDetectorConfig(failure_threshold=3)
+        config = guarded_config(
+            failure_detector=fd, fault_plan=plan, replica_selection="tars"
+        )
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(duration=0.8, warmup_fraction=0.0))
+        tripped = [c for c in cluster.clients if c.breaker_opens > 0]
+        assert tripped
+        now = cluster.env.now
+        for client in tripped:
+            # The synthetic worst-case feedback dominates the EWMA: the
+            # dead server looks orders of magnitude more loaded than any
+            # healthy one (whose backlog is sub-millisecond here).
+            assert client.estimates.queued_work(0, now) > 1.0
+
+    def test_retries_skip_open_breaker_replicas(self):
+        plan = FaultPlan((Crash(0, at=0.05),))
+        config = guarded_config(
+            failure_detector=FailureDetectorConfig(failure_threshold=2),
+            fault_plan=plan,
+        )
+        cluster = Cluster(config)
+        result = cluster.run(SimulationConfig(duration=1.0, warmup_fraction=0.0))
+        # Once breakers open, retries route to healthy replicas and the
+        # cluster keeps completing requests at full rate.
+        tail = result.requests_sent - result.requests_completed
+        assert tail < result.requests_sent * 0.1
+
+    def test_breaker_closes_after_recovery(self):
+        plan = FaultPlan((Crash(0, at=0.1), Recover(0, at=0.3)))
+        config = guarded_config(
+            failure_detector=FailureDetectorConfig(
+                failure_threshold=3, reset_timeout=0.1
+            ),
+            fault_plan=plan,
+        )
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(duration=1.5, warmup_fraction=0.0))
+        for client in cluster.clients:
+            breaker = client._breakers.get(0)
+            if breaker is not None:
+                assert breaker.state == breaker.CLOSED
+
+
+class TestTimerPoisoning:
+    def test_answered_ops_cancel_their_timers(self):
+        config = guarded_config()
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(max_requests=300))
+        cancelled = sum(c.timers_cancelled for c in cluster.clients)
+        timeouts = sum(c.timeouts_observed for c in cluster.clients)
+        assert cancelled > 0
+        assert timeouts == 0  # healthy cluster: every timer was poisoned
+
+    def test_no_timer_state_leaks_after_drain(self):
+        config = guarded_config(hedge=HedgePolicy(hedge_after=0.0005))
+        cluster = Cluster(config)
+        cluster.run(SimulationConfig(max_requests=300))
+        for client in cluster.clients:
+            assert not client._op_timers
+            assert not client._hedge_timers
+            assert not client._hedged
+            assert not client._attempts
+
+    def test_poisoning_keeps_results_identical(self):
+        """Cancelling stale timers is an optimization: request accounting
+        must match a run where timers fire as stale no-ops."""
+        config = guarded_config()
+        cluster = Cluster(config)
+        result = cluster.run(SimulationConfig(max_requests=400))
+        assert result.requests_completed == 400
+        assert sum(c.retries_sent for c in cluster.clients) == 0

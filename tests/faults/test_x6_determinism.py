@@ -1,0 +1,76 @@
+"""X6 chaos cells must be deterministic under the parallel engine.
+
+Fault drivers, hedging, and breakers all run inside the simulated clock
+with seeded randomness, so a chaos cell executed in a worker process must
+be byte-identical to the same cell run sequentially — summaries, request
+counts, metrics, traces, and the fault timeline itself.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.parallel import (
+    cell_fingerprint,
+    cell_tasks,
+    run_scenario_parallel,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import get_scenario
+
+SCALE = 0.02
+
+
+def chaos_subset(scale=SCALE):
+    """X6 narrowed to the two crash cells (the interesting comparison)."""
+    scenario = get_scenario("X6", scale=scale)
+    keep = {"crash/timeout-only", "crash/hedge+cb"}
+    return dataclasses.replace(
+        scenario,
+        points=tuple(p for p in scenario.points if p.x in keep),
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return run_scenario(chaos_subset())
+
+
+class TestX6Determinism:
+    def test_parallel_matches_sequential(self, sequential_result):
+        parallel = run_scenario_parallel(chaos_subset(), workers=2)
+        assert set(parallel.cells) == set(sequential_result.cells)
+        for key, seq_cell in sequential_result.cells.items():
+            par_cell = parallel.cells[key]
+            assert par_cell.summary == seq_cell.summary
+            assert par_cell.requests == seq_cell.requests
+            assert par_cell.metrics == seq_cell.metrics
+            assert par_cell.traces == seq_cell.traces
+
+    def test_repeated_sequential_runs_identical(self, sequential_result):
+        again = run_scenario(chaos_subset())
+        for key, cell in sequential_result.cells.items():
+            assert again.cells[key].summary == cell.summary
+            assert again.cells[key].metrics == cell.metrics
+
+    def test_fingerprints_cover_fault_config(self):
+        """Fault plans, hedge and detector configs must all perturb the
+        cell fingerprint, or checkpoint resume could serve stale cells."""
+        base = chaos_subset()
+        tasks = cell_tasks(base)
+        prints = {cell_fingerprint(task) for task in tasks}
+        assert len(prints) == len(tasks)
+        assert len(tasks) == len(base.points) * len(base.schedulers)
+        # A scale above the duration floor shifts the fault windows, which
+        # must flow into the fingerprint via the plan inside the config.
+        rescaled_prints = {
+            cell_fingerprint(task) for task in cell_tasks(chaos_subset(scale=0.2))
+        }
+        assert prints.isdisjoint(rescaled_prints)
+
+    def test_hedging_beats_timeout_only_at_smoke_scale(self, sequential_result):
+        p99 = {
+            x: sequential_result.cell(x, "DAS").metric("p99")
+            for x in ("crash/timeout-only", "crash/hedge+cb")
+        }
+        assert p99["crash/hedge+cb"] < p99["crash/timeout-only"]
