@@ -1,0 +1,111 @@
+"""X4 — extension (ours): size-aware two-lane service tier (Minos-style).
+
+Expected shape (asserted on a pinned full-scale headline run, where the
+p999 estimator has enough tail samples to be meaningful): Lanes+DAS
+beats plain DAS on p99 *and* p999 under every mix — the bimodal
+small/large split and both ``alpha <= 1.5`` truncated-Pareto tails —
+without degrading mean RCT.  At fan-out 8 a sub-1% large-op class
+touches ``1-(1-p)^8`` of requests, so DAS's last-band starvation of the
+large class lands squarely on the request tail; the weighted-fair lane
+dispatcher caps that starvation at the configured capacity split.
+
+The grid itself (all six scheduler columns, including the Lanes+FCFS,
+static-cutoff, and 50/50-split ablations) runs at the bench ``--scale``
+like every other module, and a determinism gate re-runs it through the
+parallel engine: every cell must be byte-identical to its sequential
+twin (``cells_identical``).  Both the gate and the headline comparison
+are recorded in ``benchmarks/results/X4_sharding.json``.
+"""
+
+import dataclasses
+import json
+
+from benchmarks import conftest
+from benchmarks.conftest import execute_scenario, report
+
+from repro.experiments.parallel import run_scenario_parallel
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import get_scenario
+
+#: Scale of the pinned headline comparison (12 000 requests per cell).
+HEADLINE_SCALE = 1.0
+
+#: Mean-RCT guard band: "not degraded" allows this relative slack.
+MEAN_SLACK = 1.02
+
+
+def _headline_scenario():
+    scenario = get_scenario("X4", scale=HEADLINE_SCALE)
+    keep = {"DAS", "Lanes+DAS"}
+    return dataclasses.replace(
+        scenario,
+        schedulers=tuple(s for s in scenario.schedulers if s.label in keep),
+    )
+
+
+def bench_x4_sharding(benchmark, results_dir):
+    result = execute_scenario(benchmark, "X4")
+    report(result, results_dir)
+
+    # Determinism gate: the laned cells must be byte-identical under the
+    # parallel engine at the very scale this bench just ran.
+    scenario = get_scenario("X4", scale=conftest.SCALE)
+    parallel = run_scenario_parallel(scenario, workers=4)
+    cells_identical = set(parallel.cells) == set(result.cells) and all(
+        parallel.cells[key].summary == result.cells[key].summary
+        and parallel.cells[key].metrics == result.cells[key].metrics
+        for key in result.cells
+    )
+    assert cells_identical, "X4 parallel cells diverged from sequential"
+
+    # Headline shape at pinned full scale: deterministic, so these are
+    # exact assertions, not flaky statistics.
+    headline = run_scenario(_headline_scenario())
+    comparisons = {}
+    for point in headline.scenario.points:
+        x = point.x
+        das = headline.cell(x, "DAS").summary
+        lanes = headline.cell(x, "Lanes+DAS").summary
+        comparisons[x] = {
+            "das": {"mean": das.mean, "p99": das.p99, "p999": das.p999},
+            "lanes_das": {
+                "mean": lanes.mean,
+                "p99": lanes.p99,
+                "p999": lanes.p999,
+            },
+            "p99_improvement": 1.0 - lanes.p99 / das.p99,
+            "p999_improvement": 1.0 - lanes.p999 / das.p999,
+            "mean_ratio": lanes.mean / das.mean,
+        }
+        assert lanes.p99 < das.p99, (
+            f"{x}: Lanes+DAS p99 {lanes.p99:.6f}s not below "
+            f"plain DAS {das.p99:.6f}s"
+        )
+        assert lanes.p999 < das.p999, (
+            f"{x}: Lanes+DAS p999 {lanes.p999:.6f}s not below "
+            f"plain DAS {das.p999:.6f}s"
+        )
+        assert lanes.mean <= das.mean * MEAN_SLACK, (
+            f"{x}: Lanes+DAS mean {lanes.mean:.6f}s degrades plain DAS "
+            f"{das.mean:.6f}s beyond the {MEAN_SLACK:.0%} guard band"
+        )
+
+    artifact = {
+        "grid_scale": conftest.SCALE,
+        "headline_scale": HEADLINE_SCALE,
+        "cells_identical": cells_identical,
+        "mean_slack": MEAN_SLACK,
+        "comparisons": comparisons,
+    }
+    out = results_dir / "X4_sharding.json"
+    out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    lines = ["X4 headline (scale 1.0, Lanes+DAS vs DAS):"]
+    for x, row in comparisons.items():
+        lines.append(
+            f"  {x:11s} p99 -{row['p99_improvement']:.0%}  "
+            f"p999 -{row['p999_improvement']:.0%}  "
+            f"mean x{row['mean_ratio']:.2f}"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)

@@ -69,6 +69,13 @@ EXPECTATIONS = {
           "power-of-d, C3, Tars, Prequal) beats both load-oblivious "
           "baselines (primary, random) on mean and P99 RCT; the scored "
           "policies cut the tail the furthest.",
+    "X4": "(ours, extension) at fan-out 8 a sub-1% large-op class taints "
+          "~1-(1-p)^8 of requests, so DAS's last-band starvation of "
+          "larges lands on the request tail; the size-aware two-lane "
+          "tier (Minos-style, WFQ dispatch, adaptive cutoff) beats "
+          "plain DAS on P99 and P999 under bimodal and alpha<=1.5 "
+          "Pareto mixes without degrading mean RCT; a 50/50 split or "
+          "frozen cutoff forfeits the win.",
     "X6": "(ours, extension) under a mid-run crash, timeout-only "
           "retries pay the full op-timeout on every request touching "
           "the dead server, while quantile hedging plus a failure "

@@ -19,7 +19,9 @@ existing fault machinery:
 * ``DelaySpike`` -> :class:`~repro.runtime.faults.DelayReplies` for the
   window.
 * ``SlowNode`` -> approximated as ``DelayReplies`` with a per-message
-  delay of ``(1/factor - 1) * per_op_overhead``: the executor's service
+  delay of ``(1/factor - 1) * (per_op_overhead + value_bytes / byte_rate)``
+  — the full demand term, so large values are slowed proportionally,
+  matching the sim's service-speed semantics.  The executor's service
   rate cannot be changed live, so the slowdown is modelled at the reply
   boundary instead of inside service.  Documented in ``docs/faults.md``.
 
@@ -101,14 +103,24 @@ class RuntimeFaultDriver:
             servers = range(len(self.cluster.servers))
         return list(servers)
 
-    def _slow_delay(self, entry: SlowNode) -> float:
+    def _slow_delay(self, entry: SlowNode) -> Tuple[float, float]:
+        """(fixed, per-byte) reply delay approximating the slowdown.
+
+        A factor-``f`` server takes ``demand / f`` instead of ``demand``;
+        the reply-boundary approximation adds the missing
+        ``(1/f - 1) * demand`` with demand split into its fixed
+        (``per_op_overhead``) and size-dependent (``bytes / byte_rate``)
+        terms.
+        """
         server = self.cluster.servers[entry.server_id]
-        overhead = getattr(
-            getattr(server, "executor", None),
-            "per_op_overhead",
-            _DEFAULT_PER_OP_OVERHEAD,
-        )
-        return (1.0 / entry.factor - 1.0) * max(overhead, 1e-6)
+        overhead = getattr(server, "per_op_overhead", None)
+        if overhead is None:
+            overhead = _DEFAULT_PER_OP_OVERHEAD
+        byte_rate = getattr(server, "byte_rate", None)
+        slow = 1.0 / entry.factor - 1.0
+        per_op = slow * max(overhead, 1e-6)
+        per_byte = slow / byte_rate if byte_rate else 0.0
+        return per_op, per_byte
 
     async def _apply(self, when: float, kind: str, entry) -> None:
         cluster = self.cluster
@@ -139,7 +151,8 @@ class RuntimeFaultDriver:
         elif kind == "delay_spike_end":
             self._remove(entry)
         elif kind == "slow_node_start":
-            policy = DelayReplies(delay=self._slow_delay(entry))
+            per_op, per_byte = self._slow_delay(entry)
+            policy = DelayReplies(delay=per_op, delay_per_byte=per_byte)
             self._installed[(id(entry), entry.server_id)] = policy
             cluster.servers[entry.server_id].faults.add(policy)
         elif kind == "slow_node_end":

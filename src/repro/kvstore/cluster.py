@@ -55,6 +55,8 @@ class RunResult:
     server_ops_dropped: List[int] = field(default_factory=list)
     #: Fault-plan timeline + fault-state snapshot ({} on healthy runs).
     faults: Dict[str, Any] = field(default_factory=dict)
+    #: Per-server size-lane snapshot ({} unless the scheduler is laned).
+    lanes: Dict[int, Dict[str, Any]] = field(default_factory=dict)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """JSON-able registry + trace snapshot of the finished run."""
@@ -62,6 +64,7 @@ class RunResult:
             "metrics": self.registry.snapshot() if self.registry else {},
             "traces": self.tracer.as_dicts() if self.tracer else [],
             "faults": self.faults,
+            "lanes": self.lanes,
         }
 
     def summary(self) -> SummaryStats:
@@ -376,6 +379,31 @@ class Cluster:
             for client in self.clients
         }
 
+    def lane_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-server size-lane summary, {} unless the scheduler is laned."""
+        stats: Dict[int, Dict[str, Any]] = {}
+        for sid, server in self.servers.items():
+            queue = server.queue
+            lanes = getattr(queue, "lanes", None)
+            if lanes is None:
+                continue
+            stats[sid] = {
+                "cutoff": queue.cutoff,
+                "cutoff_updates": queue.cutoff_estimator.updates,
+                "lanes": {
+                    lane: {
+                        "share": queue.share(lane),
+                        "routed": queue.routed[lane],
+                        "served": queue.served[lane],
+                        "consumed_demand": queue.consumed[lane],
+                        "busy_time": server.lane_busy_time.get(lane, 0.0),
+                        "queued": queue.lane_length(lane),
+                    }
+                    for lane in lanes
+                },
+            }
+        return stats
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -416,6 +444,7 @@ class Cluster:
             server_ops_failed=[s.ops_failed for s in self.servers.values()],
             server_ops_dropped=[s.ops_dropped for s in self.servers.values()],
             faults=self.fault_stats(),
+            lanes=self.lane_stats(),
         )
 
 

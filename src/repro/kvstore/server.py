@@ -72,6 +72,15 @@ class Server:
         self._current_finish: Optional[float] = None
         self._rate_ewma = EwmaEstimator(rate_alpha, initial=service.base_speed)
 
+        #: Size-lane support (duck-typed on the queue, like the obs
+        #: bridge): the lane layer is pure dispatch order — the service
+        #: loop is unchanged — but the server keeps per-lane busy time
+        #: so utilization can be split by lane in run stats.
+        self.lanes = getattr(queue, "lanes", None)
+        self.lane_busy_time: dict[str, float] = {
+            lane: 0.0 for lane in (self.lanes or ())
+        }
+
         #: Hard-crash lifecycle (driven by a fault plan): unlike an
         #: outage, a crash *loses* queued operations and refuses new ones
         #: until :meth:`recover`.
@@ -175,6 +184,10 @@ class Server:
                 continue
             op.finish_time = env.now
             self.busy_time += service_time
+            if self.lanes is not None:
+                lane = op.tag.get("lane")
+                if lane in self.lane_busy_time:
+                    self.lane_busy_time[lane] += service_time
             # Learn our own effective rate from the completed operation.
             observed = self.service.rate_sample(op.demand, service_time)
             self._rate_ewma.update(observed)

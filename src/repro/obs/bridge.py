@@ -25,6 +25,43 @@ def register_queue_gauges(registry: MetricsRegistry, queue, server_id) -> None:
         fn=lambda: queue.queued_demand,
         server=sid,
     )
+    lanes = getattr(queue, "lanes", None)
+    if lanes is not None:
+        registry.gauge(
+            "lane_size_cutoff",
+            "Current small/large routing cutoff (bytes)",
+            fn=lambda: queue.cutoff,
+            server=sid,
+        )
+        for lane in lanes:
+            registry.gauge(
+                "lane_queue_length",
+                "Operations queued in this lane",
+                fn=lambda lq=queue, ln=lane: float(lq.lane_length(ln)),
+                server=sid,
+                lane=lane,
+            )
+            registry.gauge(
+                "lane_queued_demand",
+                "Queued service demand in this lane (reference seconds)",
+                fn=lambda lq=queue, ln=lane: lq.lane_demand(ln),
+                server=sid,
+                lane=lane,
+            )
+            registry.gauge(
+                "lane_routed_total",
+                "Operations routed to this lane (monotone)",
+                fn=lambda lq=queue, ln=lane: float(lq.routed[ln]),
+                server=sid,
+                lane=lane,
+            )
+            registry.gauge(
+                "lane_served_demand",
+                "Demand-seconds dispatched from this lane (monotone)",
+                fn=lambda lq=queue, ln=lane: lq.consumed[ln],
+                server=sid,
+                lane=lane,
+            )
     controller = getattr(queue, "controller", None)
     if controller is None:
         return

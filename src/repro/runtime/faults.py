@@ -36,10 +36,17 @@ DISCONNECT = "disconnect"
 
 @dataclass(frozen=True)
 class FaultDecision:
-    """What the server should do with one incoming message."""
+    """What the server should do with one incoming message.
+
+    ``delay`` is a fixed hold-back in seconds; ``delay_per_byte`` adds a
+    size-dependent component the server scales by the value bytes the
+    message moves (how a slow node hurts large operations more than
+    small ones).
+    """
 
     action: str = PASS
     delay: float = 0.0
+    delay_per_byte: float = 0.0
 
     @property
     def replies(self) -> bool:
@@ -138,12 +145,25 @@ class DropReplies(FaultPolicy):
 
 
 class DelayReplies(FaultPolicy):
-    """Hold replies back by ``delay`` seconds (first ``count``, or all)."""
+    """Hold replies back by ``delay`` seconds (first ``count``, or all).
 
-    def __init__(self, delay: float, count: Optional[int] = None):
-        if delay <= 0:
-            raise ConfigError("delay must be positive")
+    ``delay_per_byte`` adds a size-dependent component — used by the
+    SlowNode approximation so a slowed server stays proportionally slow
+    on large values, matching the simulator's service-speed semantics.
+    """
+
+    def __init__(
+        self,
+        delay: float = 0.0,
+        count: Optional[int] = None,
+        delay_per_byte: float = 0.0,
+    ):
+        if delay < 0 or delay_per_byte < 0:
+            raise ConfigError("delays must be >= 0")
+        if delay <= 0 and delay_per_byte <= 0:
+            raise ConfigError("DelayReplies needs delay or delay_per_byte > 0")
         self.delay = delay
+        self.delay_per_byte = delay_per_byte
         self.remaining = count
 
     def decide(self, message, now: float) -> FaultDecision:
@@ -151,7 +171,9 @@ class DelayReplies(FaultPolicy):
             if self.remaining <= 0:
                 return FaultDecision(PASS)
             self.remaining -= 1
-        return FaultDecision(DELAY, delay=self.delay)
+        return FaultDecision(
+            DELAY, delay=self.delay, delay_per_byte=self.delay_per_byte
+        )
 
 
 class RefuseConnections(FaultPolicy):
@@ -253,16 +275,18 @@ class FaultInjector:
         now = time.monotonic() if now is None else now
         worst = PASS_DECISION
         total_delay = 0.0
+        total_per_byte = 0.0
         for policy in self.policies:
             decision = policy.decide(message, now)
             if decision.action == DELAY:
                 total_delay += decision.delay
+                total_per_byte += decision.delay_per_byte
             if self._SEVERITY[decision.action] > self._SEVERITY[worst.action]:
                 worst = decision
-        if worst.action == PASS and total_delay > 0:
-            worst = FaultDecision(DELAY, delay=total_delay)
-        elif worst.action == DELAY:
-            worst = FaultDecision(DELAY, delay=total_delay)
+        if worst.action in (PASS, DELAY) and (total_delay > 0 or total_per_byte > 0):
+            worst = FaultDecision(
+                DELAY, delay=total_delay, delay_per_byte=total_per_byte
+            )
         if worst.action == DROP:
             self.counters.dropped += 1
         elif worst.action == DELAY:

@@ -42,6 +42,8 @@ class QueuedOp:
 
     key: str
     demand: float
+    #: Value bytes the operation moves — what a size-laned queue routes on.
+    size: int = 0
     tag: Dict[str, Any] = field(default_factory=dict)
     enqueue_time: float = float("nan")
     #: Resolved when the operation has been executed (created at submit).
@@ -90,6 +92,9 @@ class ScheduledExecutor:
         self._worker: Optional[asyncio.Task] = None
         self._stopping = False
         self._serving = False
+        #: Lane names when the policy built a size-laned queue (dispatch
+        #: order changes, the worker does not), else None.
+        self.lanes = getattr(self.queue, "lanes", None)
         #: Registry instruments.  A shared registry (e.g. the cluster's)
         #: keeps one series per server across executor restarts; a fresh
         #: one is created for standalone use.
@@ -225,7 +230,7 @@ class ScheduledExecutor:
 
     @property
     def in_flight(self) -> int:
-        """Operations queued plus the one currently in service, if any."""
+        """Operations queued plus the one currently in service."""
         return len(self.queue) + (1 if self._serving else 0)
 
     def feedback(self) -> Dict[str, float]:
@@ -235,4 +240,22 @@ class ScheduledExecutor:
             "queued_work": self.queue.queued_demand / rate,
             "queue_length": len(self.queue),
             "rate_sample": self.measured_rate,
+        }
+
+    def lane_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-lane depth and cutoff snapshot, None for unlaned queues."""
+        if self.lanes is None:
+            return None
+        queue = self.queue
+        return {
+            "cutoff": queue.cutoff,
+            "lanes": {
+                lane: {
+                    "share": queue.share(lane),
+                    "queued": queue.lane_length(lane),
+                    "routed": queue.routed[lane],
+                    "served": queue.served[lane],
+                }
+                for lane in self.lanes
+            },
         }

@@ -206,7 +206,13 @@ class KVServer:
                     continue
                 reply = await self._serve(message)
                 if decision.action == DELAY:
-                    await asyncio.sleep(decision.delay)
+                    delay = decision.delay
+                    if decision.delay_per_byte > 0.0:
+                        delay += (
+                            decision.delay_per_byte
+                            * self._message_value_bytes(message)
+                        )
+                    await asyncio.sleep(delay)
                 await write_message(writer, reply)
         except (ConnectionError, OSError):
             pass  # peer went away (or crash() severed us) mid-exchange
@@ -278,7 +284,7 @@ class KVServer:
         ops = []
         for key in keys:
             size = self._stored_size(key)
-            op = QueuedOp(key=key, demand=self._demand(size), tag=dict(tags))
+            op = QueuedOp(key=key, demand=self._demand(size), size=size, tag=dict(tags))
             op.work = self._make_get_work(key)
             ops.append(op)
             futures.append(self.executor.submit(op))
@@ -298,6 +304,25 @@ class KVServer:
         except KeyNotFoundError:
             return 0
 
+    def _message_value_bytes(self, message: Message) -> int:
+        """Value bytes a data message moves (size-dependent fault delays).
+
+        Control-plane messages (stats, probe) move no value bytes, so a
+        slow node still answers them promptly — like the real server,
+        whose scrapes bypass the service queue.
+        """
+        fields = message.fields
+        if message.type == "get":
+            return self._stored_size(fields.get("key", ""))
+        if message.type == "mget":
+            return sum(self._stored_size(k) for k in fields.get("keys", ()))
+        if message.type == "put":
+            try:
+                return len(decode_value(fields["value"]))
+            except (KeyError, AttributeError, ProtocolError):
+                return 0
+        return 0
+
     def _make_get_work(self, key: str):
         def work():
             try:
@@ -314,7 +339,9 @@ class KVServer:
         key = fields["key"]
         payload = decode_value(fields["value"])
         tags = dict(fields.get("tags", {}))
-        op = QueuedOp(key=key, demand=self._demand(len(payload)), tag=tags)
+        op = QueuedOp(
+            key=key, demand=self._demand(len(payload)), size=len(payload), tag=tags
+        )
 
         def work():
             self.storage.put(
@@ -365,6 +392,7 @@ class KVServer:
             "errors_returned": self.errors_returned,
             "crashes": self.crashes,
             "faults": self.faults.counters.as_dict(),
+            "lanes": self.executor.lane_stats(),
             "metrics": self.registry.snapshot(),
         }
 

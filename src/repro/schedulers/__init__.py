@@ -35,6 +35,7 @@ from repro.schedulers import rein as _rein  # noqa: F401
 from repro.schedulers import sfq as _sfq  # noqa: F401
 from repro.schedulers import sjf as _sjf  # noqa: F401
 from repro.core import das as _das  # noqa: F401
+from repro.sharding import policy as _laned  # noqa: F401
 
 __all__ = [
     "ClientTagger",

@@ -1,0 +1,20 @@
+"""Size-aware two-lane service tier (Minos-style small/large separation).
+
+Partitions each server's service capacity into a *small-op* lane and a
+*large-op* lane with a size cutoff adapted online from the observed size
+distribution, composed with the scheduler zoo as "size lane first,
+policy within a lane".  See ``docs/sharding.md``.
+"""
+
+from repro.sharding.cutoff import WindowedQuantileCutoff
+from repro.sharding.lanes import LARGE, SMALL, SizeLaneQueue, op_size
+from repro.sharding.policy import LanedPolicy
+
+__all__ = [
+    "LARGE",
+    "SMALL",
+    "LanedPolicy",
+    "SizeLaneQueue",
+    "WindowedQuantileCutoff",
+    "op_size",
+]

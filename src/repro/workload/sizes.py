@@ -152,11 +152,13 @@ class _LognormalSampler(SizeSampler):
 
 @dataclass(frozen=True)
 class ParetoSize(SizeSpec):
-    """Generalized-Pareto tail over a minimum size (heavy-tailed values).
+    """Plain (type-I) Pareto tail over a minimum size (heavy-tailed values).
 
-    ``X = lo * (1 + U^(-1/alpha) - 1)`` style Pareto-Lomax; truncated at
-    ``cap``.  Small ``alpha`` (e.g. 1.5) gives the heavy tail used in our
-    "heavytail" traffic pattern.
+    ``X = lo * (1 - U)^(-1/alpha)`` with support ``[lo, inf)``, truncated
+    at ``cap``.  Small ``alpha`` gives the heavy tail used in our
+    "heavytail" traffic pattern; ``alpha <= 1`` (infinite untruncated
+    mean) is allowed because the ``cap`` truncation keeps ``mean()``
+    finite.
     """
 
     lo: float = 256.0
@@ -166,8 +168,8 @@ class ParetoSize(SizeSpec):
     def __post_init__(self):
         if self.lo <= 0:
             raise WorkloadError("lo must be positive")
-        if self.alpha <= 1.0:
-            raise WorkloadError("alpha must be > 1 for a finite mean")
+        if self.alpha <= 0:
+            raise WorkloadError("alpha must be positive")
         if self.cap <= self.lo:
             raise WorkloadError("cap must exceed lo")
 
@@ -175,10 +177,15 @@ class ParetoSize(SizeSpec):
         return _ParetoSampler(self.lo, self.alpha, self.cap, rng)
 
     def mean(self) -> float:
-        # E[min(X, cap)] for Pareto(lo, alpha):
-        # = lo*alpha/(alpha-1) - (lo^alpha / (alpha-1)) * cap^(1-alpha)
+        # E[min(X, cap)] for Pareto(lo, alpha), any alpha > 0:
+        #   = lo + lo^a * (cap^(1-a) - lo^(1-a)) / (1 - a)   for a != 1
+        #   = lo * (1 + ln(cap / lo))                        for a == 1
+        # (For a > 1 this equals the familiar
+        # lo*a/(a-1) - lo^a/(a-1) * cap^(1-a) closed form.)
         a, lo, cap = self.alpha, self.lo, float(self.cap)
-        return lo * a / (a - 1) - (lo**a / (a - 1)) * cap ** (1 - a)
+        if a == 1.0:
+            return lo * (1.0 + np.log(cap / lo))
+        return lo + lo**a * (cap ** (1 - a) - lo ** (1 - a)) / (1 - a)
 
 
 class _ParetoSampler(SizeSampler):

@@ -119,6 +119,54 @@ class TestRuntimeTranslation:
 
         assert asyncio.run(scenario()) == b"x"
 
+    def test_slow_node_reply_delay_scales_with_value_size(self):
+        # The sim slows the whole service (demand / factor); the runtime
+        # approximation must therefore charge the full missing term
+        # (1/f - 1) * (per_op_overhead + bytes / byte_rate) at the reply
+        # boundary — not a fixed per-op constant that would let large
+        # values through a "slow" node at full speed.
+        factor = 0.5
+        large = 4 << 20  # 4 MiB: per-byte term ~42 ms at 100 MB/s
+        plan = FaultPlan((SlowNode(0, at=0.0, until=5.0, factor=factor),))
+        slow = 1.0 / factor - 1.0
+
+        async def scenario():
+            async with LocalCluster(n_servers=1) as cluster:
+                server = cluster.servers[0]
+                await cluster.client.put("small", b"x" * 64)
+                await cluster.client.put("large", b"x" * large)
+                driver = RuntimeFaultDriver(cluster, plan, time_scale=1.0)
+                task = asyncio.get_running_loop().create_task(driver.run())
+                while not server.faults.policies:
+                    await asyncio.sleep(0.001)
+                policy = server.faults.policies[0]
+                assert isinstance(policy, DelayReplies)
+                assert policy.delay == pytest.approx(
+                    slow * server.per_op_overhead
+                )
+                assert policy.delay_per_byte == pytest.approx(
+                    slow / server.byte_rate
+                )
+                loop = asyncio.get_running_loop()
+                t0 = loop.time()
+                assert await cluster.client.get("small") == b"x" * 64
+                small_elapsed = loop.time() - t0
+                t0 = loop.time()
+                assert len(await cluster.client.get("large")) == large
+                large_elapsed = loop.time() - t0
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                return server.byte_rate, small_elapsed, large_elapsed
+
+        byte_rate, small_elapsed, large_elapsed = asyncio.run(scenario())
+        # Hard lower bound: the reply is held back at least the per-byte
+        # term, so the large get cannot complete faster than that.
+        assert large_elapsed >= slow * large / byte_rate
+        assert large_elapsed > small_elapsed * 4
+
     def test_invalid_time_scale_rejected(self):
         async def scenario():
             async with LocalCluster(n_servers=2) as cluster:

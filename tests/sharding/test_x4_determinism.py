@@ -1,0 +1,62 @@
+"""X4 lane cells must be deterministic under the parallel engine.
+
+The lane layer adds per-server state (cutoff window, WFQ credits) on the
+hot dispatch path; a laned cell run in a worker process must stay
+byte-identical to the same cell run sequentially.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.parallel import run_scenario_parallel
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import get_scenario
+
+SCALE = 0.02
+
+
+def lane_subset(scale=SCALE):
+    """X4 narrowed to the headline comparison plus one ablation arm."""
+    scenario = get_scenario("X4", scale=scale)
+    keep = {"DAS", "Lanes+DAS", "Lanes+DAS static cutoff"}
+    return dataclasses.replace(
+        scenario,
+        schedulers=tuple(s for s in scenario.schedulers if s.label in keep),
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    return run_scenario(lane_subset())
+
+
+class TestX4Determinism:
+    def test_parallel_matches_sequential(self, sequential_result):
+        parallel = run_scenario_parallel(lane_subset(), workers=2)
+        assert set(parallel.cells) == set(sequential_result.cells)
+        for key, seq_cell in sequential_result.cells.items():
+            par_cell = parallel.cells[key]
+            assert par_cell.summary == seq_cell.summary
+            assert par_cell.requests == seq_cell.requests
+            assert par_cell.metrics == seq_cell.metrics
+            assert par_cell.traces == seq_cell.traces
+
+    def test_repeated_sequential_runs_identical(self, sequential_result):
+        again = run_scenario(lane_subset())
+        for key, cell in sequential_result.cells.items():
+            assert again.cells[key].summary == cell.summary
+            assert again.cells[key].metrics == cell.metrics
+
+    def test_lane_gauges_exported(self, sequential_result):
+        for (x, label), cell in sequential_result.cells.items():
+            names = {
+                key.split("{", 1)[0] for key in cell.metrics["gauges"]
+            }
+            if label.startswith("Lanes"):
+                assert "lane_size_cutoff" in names
+                assert "lane_queue_length" in names
+                assert "lane_routed_total" in names
+                assert "lane_served_demand" in names
+            else:
+                assert "lane_size_cutoff" not in names

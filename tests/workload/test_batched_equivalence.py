@@ -104,7 +104,11 @@ SIZE_SPECS = [
     UniformSize(lo=128, hi=4096),
     LognormalSize(median=1024.0, sigma=1.2, cap=1 << 18),
     ParetoSize(lo=256.0, alpha=1.5, cap=1 << 20),
+    # Truly heavy tails (alpha <= 1), legal since the ParetoSize fix.
+    ParetoSize(lo=256.0, alpha=1.0, cap=1 << 22),
+    ParetoSize(lo=256.0, alpha=0.9, cap=1 << 22),
     BimodalSize(small=512, large=262144, p_large=0.05),
+    BimodalSize(small=512, large=262144, p_large=0.002),
     ExponentialSize(mean_size=1024.0, cap=1 << 22),
 ]
 

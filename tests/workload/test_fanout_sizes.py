@@ -123,11 +123,37 @@ class TestSizeSpecs:
 
     def test_pareto_invalid(self):
         with pytest.raises(WorkloadError):
-            ParetoSize(alpha=1.0)
+            ParetoSize(alpha=0.0)
+        with pytest.raises(WorkloadError):
+            ParetoSize(alpha=-1.5)
         with pytest.raises(WorkloadError):
             ParetoSize(lo=0)
         with pytest.raises(WorkloadError):
             ParetoSize(lo=1000, cap=500)
+
+    def test_pareto_heavy_tail_mean_matches_analytic(self, rng):
+        # alpha <= 1 has an infinite untruncated mean; the cap keeps the
+        # truncated mean finite and the analytic piecewise form must
+        # match the empirical average (the ParetoSize bugfix regression).
+        spec = ParetoSize(lo=256.0, alpha=0.9, cap=1 << 22)
+        # Block draw: the truncated tail is so variable that a loop-sized
+        # sample would need rel tolerances too loose to catch the bug.
+        empirical = spec.build(rng).sample_block(2_000_000).mean()
+        assert empirical == pytest.approx(spec.mean(), rel=0.05)
+
+    def test_pareto_alpha_one_log_case(self, rng):
+        spec = ParetoSize(lo=256.0, alpha=1.0, cap=1 << 22)
+        assert spec.mean() == pytest.approx(
+            256.0 * (1.0 + np.log((1 << 22) / 256.0))
+        )
+        empirical = spec.build(rng).sample_block(2_000_000).mean()
+        assert empirical == pytest.approx(spec.mean(), rel=0.05)
+
+    def test_pareto_alpha_continuity_at_one(self):
+        # The piecewise mean() must be continuous across the log case.
+        near = ParetoSize(lo=256.0, alpha=1.0 + 1e-9, cap=1 << 22).mean()
+        at = ParetoSize(lo=256.0, alpha=1.0, cap=1 << 22).mean()
+        assert near == pytest.approx(at, rel=1e-4)
 
     def test_bimodal_size(self, rng):
         spec = BimodalSize(small=100, large=10000, p_large=0.5)
