@@ -1,87 +1,53 @@
 #!/usr/bin/env python
-"""Trace record & replay: paired scheduler comparison on identical input.
+"""Real-trace replay: run a cache-trace CSV through every scheduler.
 
-Synthesizes a multiget workload trace, writes it to JSONL, then replays
-the *exact same request stream* (same arrival times, same keys) under
-each scheduler — eliminating workload randomness from the A/B comparison.
-This is the workflow for evaluating a scheduler change against recorded
-production traces.
+Ingests the bundled Twitter/Meta-style cache trace
+(``timestamp,key,op,size`` CSV), summarizes it, and replays the *exact
+same request stream* (same arrival times, same keys, same op mix) under
+each scheduler — eliminating workload randomness from the A/B
+comparison.  This is the workflow for evaluating a scheduler change
+against recorded production traces; docs/workloads.md walks through
+pointing it at your own trace file.
 
 Run:  python examples/trace_replay.py
 """
 
-import tempfile
-from pathlib import Path
-
-import numpy as np
-
-from repro import ClusterConfig, ServiceConfig, SimulationConfig
+from repro import ClusterConfig, SimulationConfig
 from repro.kvstore.cluster import Cluster
-from repro.workload import PoissonArrivals, write_trace
-from repro.workload.patterns import traffic_pattern
-from repro.workload.requests import (
-    Keyspace,
-    RequestFactory,
-    RequestSpec,
-    arrival_rate_for_load,
-)
-from repro.workload.traces import TraceRecord, load_trace
+from repro.workload import SAMPLE_TRACE, read_csv_trace, trace_info, workload
 
 N_SERVERS = 8
-KEYSPACE_SIZE = 5_000
-LOAD = 0.75
-REQUESTS = 5_000
 SEED = 99
 
 
-def synthesize_trace(path: Path, keyspace: Keyspace) -> None:
-    """Generate a trace from the baseline pattern and save it."""
-    pattern = traffic_pattern("baseline")
-    service = ServiceConfig()
-    rate = arrival_rate_for_load(
-        LOAD, pattern.fanout.mean(), service.mean_demand(pattern.sizes.mean()),
-        N_SERVERS,
-    )
-    spec = RequestSpec(
-        arrivals=PoissonArrivals(rate=rate),
-        fanout=pattern.fanout,
-        popularity=pattern.popularity,
-    )
-    factory = RequestFactory(
-        spec,
-        keyspace,
-        rng_arrivals=np.random.default_rng(SEED),
-        rng_fanout=np.random.default_rng(SEED + 1),
-        rng_keys=np.random.default_rng(SEED + 2),
-    )
-    records = []
-    t = 0.0
-    for _ in range(REQUESTS):
-        t += factory.next_interarrival(t)
-        descriptor = factory.make_request()
-        records.append(
-            TraceRecord(t=t, keys=descriptor.keys, sizes=descriptor.sizes)
-        )
-    count = write_trace(path, records)
-    print(f"recorded {count} requests ({t:.2f}s span) to {path.name}")
+def inspect_trace() -> None:
+    """Ingest the raw CSV and print the `trace-info` style summary."""
+    records = read_csv_trace(SAMPLE_TRACE)
+    print(f"ingested {SAMPLE_TRACE.name}:")
+    for line in trace_info(records).describe().splitlines():
+        print(f"  {line}")
 
 
-def replay(path: Path) -> None:
-    records = load_trace(path)
-    pattern = traffic_pattern("baseline")
-    print(f"replaying {len(records)} identical requests under each scheduler:")
+def replay() -> None:
+    """Replay the bundled `trace-sample` spec under each scheduler.
+
+    The registry spec handles the full pipeline declaratively: CSV
+    ingest, rescaling onto its replay window, and remapping trace keys
+    onto the simulator's canonical keyspace.
+    """
+    spec = workload("trace-sample")
+    print(f"\nreplaying spec {spec.name!r} ({spec.description}):")
     for scheduler in ("fcfs", "sbf", "das"):
         config = ClusterConfig(
             n_servers=N_SERVERS,
             n_clients=1,  # a single client preserves the trace's order
             seed=SEED,
             scheduler=scheduler,
-            keyspace_size=KEYSPACE_SIZE,
-            sizes=pattern.sizes,  # keyspace must match the recording
-            trace=tuple(records),
+            workload="trace-sample",
         )
-        cluster = Cluster(config)
-        result = cluster.run(SimulationConfig(max_requests=len(records)))
+        result = Cluster(config).run(
+            SimulationConfig(max_requests=len(config.trace))
+        )
         s = result.summary()
         print(
             f"  {scheduler:>5} mean {s.mean * 1e3:7.3f}ms  "
@@ -90,18 +56,9 @@ def replay(path: Path) -> None:
 
 
 def main() -> None:
-    pattern = traffic_pattern("baseline")
-    # The replay clusters rebuild this exact keyspace from (seed, sizes),
-    # so the recorded keys exist with the recorded sizes.
-    from repro.sim.rand import RandomStreams
-
-    keyspace = Keyspace(
-        KEYSPACE_SIZE, pattern.sizes, RandomStreams(SEED).stream("keyspace")
-    )
-    with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "workload.jsonl"
-        synthesize_trace(path, keyspace)
-        replay(path)
+    """Summarize the bundled trace, then A/B the schedulers on it."""
+    inspect_trace()
+    replay()
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from typing import List, Optional
 from repro.experiments.parallel import run_scenario_parallel
 from repro.experiments.report import format_reduction_table, format_scenario_table
 from repro.experiments.runner import run_scenario, write_observability_artifacts
-from repro.experiments.scenarios import SCENARIOS, get_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario, workload_scenario
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +38,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiment ids to run (known: {', '.join(sorted(SCENARIOS))})",
     )
     parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="NAME|PATH",
+        help="run a scheduler comparison on a declarative workload spec: "
+        "a registry name (see docs/workloads.md) or a .toml/.json spec "
+        "file; repeatable",
+    )
     parser.add_argument(
         "--scale",
         type=float,
@@ -84,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     ids = sorted(SCENARIOS) if args.all else args.experiments
-    if not ids:
+    if not ids and not args.workload:
         build_parser().print_help()
         return 2
     unknown = [i for i in ids if i not in SCENARIOS]
@@ -95,8 +104,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--workers must be >= 0", file=sys.stderr)
         return 2
     progress = None if args.quiet else lambda msg: print(f"  {msg}")
-    for experiment_id in ids:
-        scenario = get_scenario(experiment_id, scale=args.scale)
+    # Experiment ids run their predefined grids; each --workload ref runs
+    # the scheduler-comparison grid on that declarative spec.
+    runs = [("experiment", i) for i in ids] + [
+        ("workload", ref) for ref in args.workload
+    ]
+    for kind, ref in runs:
+        if kind == "experiment":
+            scenario = get_scenario(ref, scale=args.scale)
+        else:
+            scenario = workload_scenario(ref, scale=args.scale)
+        experiment_id = scenario.experiment_id
         if args.workers == 1 and args.checkpoint is None:
             # The reference sequential path (kept as its own code path so
             # the parallel engine can be validated against it).

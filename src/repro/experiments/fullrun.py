@@ -30,7 +30,7 @@ from repro.experiments.runner import (
     run_scenario,
     write_observability_artifacts,
 )
-from repro.experiments.scenarios import SCENARIOS, get_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario, workload_scenario
 
 #: What the paper (abstract) leads us to expect, per experiment.
 EXPECTATIONS = {
@@ -186,19 +186,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--checkpoint", type=Path, default=None, metavar="DIR",
                         help="per-cell checkpoint directory; reruns resume "
                              "from the finished cells")
+    parser.add_argument("--workload", action="append", default=[],
+                        metavar="NAME|PATH",
+                        help="also run a scheduler comparison on this "
+                             "declarative workload spec (registry name or "
+                             ".toml/.json file; repeatable — see "
+                             "docs/workloads.md)")
     args = parser.parse_args(argv)
     artifacts_dir = (
         args.artifacts if args.artifacts is not None
         else args.out.parent / "artifacts"
     )
 
-    ids = args.only if args.only else sorted(SCENARIOS)
+    if args.only is not None:
+        ids = args.only
+    elif args.workload:
+        ids = []  # `--workload X` alone runs just that spec, not the suite
+    else:
+        ids = sorted(SCENARIOS)
+    runs = [("experiment", i) for i in ids] + [
+        ("workload", ref) for ref in args.workload
+    ]
     sections = []
     t0 = time.time()
-    for experiment_id in ids:
-        print(f"[fullrun] running {experiment_id} at scale {args.scale} ...",
+    for kind, ref in runs:
+        print(f"[fullrun] running {ref} at scale {args.scale} ...",
               flush=True)
-        scenario = get_scenario(experiment_id, scale=args.scale)
+        if kind == "experiment":
+            scenario = get_scenario(ref, scale=args.scale)
+        else:
+            scenario = workload_scenario(ref, scale=args.scale)
         if args.workers == 1 and args.checkpoint is None:
             result = run_scenario(scenario)
         else:

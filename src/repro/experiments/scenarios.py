@@ -934,3 +934,40 @@ def get_scenario(experiment_id: str, scale: float = 1.0) -> Scenario:
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
     return factory(scale)
+
+
+def workload_scenario(ref: str, scale: float = 1.0) -> Scenario:
+    """Scheduler-comparison grid over one declarative workload spec.
+
+    ``ref`` is a registry name (``"mmpp-burst"``) or a spec-file path;
+    the cell's :class:`ClusterConfig` carries it as ``workload=...`` so
+    the resolved generator fields — and the spec's content fingerprint —
+    land in the config repr the parallel engine's checkpoints key on.
+    One x-axis point (the spec), the core scheduler columns, same
+    cluster defaults and seed as every other scenario.
+    """
+    _check_scale(scale)
+    from repro.workload.registry import resolve_workload
+
+    spec = resolve_workload(ref)  # fail fast with the spec's own error
+    config = ClusterConfig(
+        n_servers=N_SERVERS,
+        n_clients=N_CLIENTS,
+        seed=SEED,
+        keyspace_size=KEYSPACE,
+        workload=ref,
+    )
+    point = RunPoint(
+        x=spec.name,
+        config=config,
+        sim=SimulationConfig(max_requests=_requests(scale)),
+    )
+    return Scenario(
+        experiment_id=f"W:{spec.name}",
+        title=f"Workload spec {spec.name!r}: {spec.description or 'scheduler comparison'}",
+        x_label="workload",
+        metric="mean",
+        points=(point,),
+        schedulers=CORE_SCHEDULERS,
+        notes="Declarative workload from the registry (docs/workloads.md).",
+    )

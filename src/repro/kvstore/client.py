@@ -58,6 +58,8 @@ class Client:
         hedge: Optional[HedgePolicy] = None,
         failure_detector: Optional[FailureDetectorConfig] = None,
         fault_state: Optional[Callable[[], tuple]] = None,
+        closed_loop: bool = False,
+        closed_concurrency: int = 1,
     ):
         if op_timeout is not None and op_timeout <= 0:
             raise ValueError("op_timeout must be positive")
@@ -65,6 +67,8 @@ class Client:
             raise ValueError("max_retries must be >= 0")
         if failure_detector is not None and op_timeout is None:
             raise ValueError("failure_detector requires op_timeout")
+        if closed_concurrency < 1:
+            raise ValueError("closed_concurrency must be >= 1")
         self.env = env
         self.client_id = client_id
         self.factory = factory
@@ -82,6 +86,8 @@ class Client:
 
         self.op_timeout = op_timeout
         self.max_retries = max_retries
+        self.closed_loop = closed_loop
+        self.closed_concurrency = closed_concurrency
         self.tracer = tracer
         self.hedge = hedge
         self.failure_detector = failure_detector
@@ -115,7 +121,9 @@ class Client:
         self._latency = LatencyTracker() if hedge is not None else None
         #: server_id -> failure-detector breaker (created on first failure).
         self._breakers: Dict[int, CircuitBreaker] = {}
-        self.process = env.process(self._generate())
+        self.process = env.process(
+            self._generate_closed() if closed_loop else self._generate()
+        )
 
     # ------------------------------------------------------------------
     # Request generation
@@ -135,6 +143,32 @@ class Client:
         self.generation_done = True
         if self._on_finished is not None:
             self._on_finished(self)
+
+    def _generate_closed(self):
+        """Closed-loop generation: a fixed window of in-flight requests.
+
+        The initial window is dispatched here; every full-request
+        completion then issues the replacement (see ``handle_response``),
+        so the offered rate self-throttles to the cluster's service rate
+        and the arrival clock is never consulted.
+        """
+        for _ in range(self.closed_concurrency):
+            if not self._closed_can_issue():
+                break
+            self._dispatch(self._build_request())
+        if not self._closed_can_issue():
+            self.generation_done = True
+            if self._on_finished is not None:
+                self._on_finished(self)
+        return
+        yield  # pragma: no cover — env.process needs a generator
+
+    def _closed_can_issue(self) -> bool:
+        if self.max_requests is not None and self.requests_sent >= self.max_requests:
+            return False
+        if self.end_time is not None and self.env.now >= self.end_time:
+            return False
+        return True
 
     def _build_request(self) -> Request:
         descriptor = self.factory.make_request()
@@ -409,6 +443,12 @@ class Client:
         request.completion_time = now
         self.requests_completed += 1
         self.metrics.record_request(request)
+        if self.closed_loop and not self.generation_done:
+            # The freed window slot issues the next request immediately.
+            if self._closed_can_issue():
+                self._dispatch(self._build_request())
+            if not self._closed_can_issue():
+                self.generation_done = True
         if self.tracer is not None and self.tracer.should_sample():
             meta = {
                 "client": self.client_id,

@@ -293,6 +293,8 @@ class Cluster:
                 if self.fault_driver is not None
                 else None
             ),
+            closed_loop=cfg.closed_loop,
+            closed_concurrency=cfg.closed_concurrency,
         )
 
     def _start_periodic_feedback(self) -> None:

@@ -82,6 +82,20 @@ class ClusterConfig:
     #: When set, clients replay these TraceRecords (round-robin) instead of
     #: sampling from arrivals/fanout/popularity.
     trace: Optional[Tuple[Any, ...]] = None
+    #: Declarative workload: a registry name ("mmpp-burst") or a spec-file
+    #: path ("path/to/spec.toml").  Resolved at construction time — the
+    #: spec overwrites arrivals/fanout/sizes/popularity/put_fraction (and
+    #: trace/keyspace_size/closed_loop where the spec says so), so the
+    #: resolved fields land in this config's repr and therefore in the
+    #: parallel engine's cell fingerprint.  See docs/workloads.md.
+    workload: Optional[str] = None
+    #: Content hash of the resolved workload spec; set during resolution
+    #: so checkpoint fingerprints change when a named spec's file changes.
+    workload_fingerprint: Optional[str] = None
+    #: Closed-loop generation: each client keeps ``closed_concurrency``
+    #: requests in flight instead of following the arrival clock.
+    closed_loop: bool = False
+    closed_concurrency: int = 4
 
     #: Fault injection: per-server (start, end) outage windows during which
     #: the server serves nothing.
@@ -101,6 +115,8 @@ class ClusterConfig:
     failure_detector: Optional[FailureDetectorConfig] = None
 
     def __post_init__(self):
+        if self.workload is not None:
+            self._resolve_workload()
         if self.n_servers < 1:
             raise ConfigError("n_servers must be >= 1")
         if self.n_clients < 1:
@@ -148,6 +164,8 @@ class ClusterConfig:
                     )
         if self.failure_detector is not None and self.op_timeout is None:
             raise ConfigError("failure_detector requires op_timeout")
+        if self.closed_concurrency < 1:
+            raise ConfigError("closed_concurrency must be >= 1")
         # Validate the policy name at config time rather than deep inside
         # cluster assembly.  Imported here to keep the config module free
         # of a hard dependency for type checking.
@@ -156,6 +174,27 @@ class ClusterConfig:
         selection_policy_needs(self.replica_selection)
         if self.network_base_delay < 0 or self.network_jitter_mean < 0:
             raise ConfigError("network delays must be >= 0")
+
+    def _resolve_workload(self) -> None:
+        """Materialize a declarative workload spec into this config.
+
+        Runs first in ``__post_init__`` so the resolved generator fields
+        go through the same validation as hand-built configs.  Imported
+        lazily: the registry needs the workload package but configs must
+        stay importable without touching spec files.
+        """
+        from repro.workload.registry import resolve_workload
+
+        spec = resolve_workload(self.workload)
+        overrides = spec.config_overrides(
+            n_servers=self.n_servers,
+            service=self.service,
+            mean_speed=self.mean_speed(),
+            default_keyspace=self.keyspace_size,
+        )
+        for name, value in overrides.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "workload_fingerprint", spec.fingerprint())
 
     def mean_speed(self) -> float:
         if self.server_speeds is None:

@@ -1,4 +1,4 @@
-"""Open-loop load generation against the asyncio runtime.
+"""Load generation against the asyncio runtime (open- or closed-loop).
 
 Drives a :class:`~repro.runtime.client.RuntimeClient` with the same
 workload specs the simulator uses (arrivals / fan-out / popularity over a
@@ -6,9 +6,18 @@ preloaded keyspace) and measures wall-clock multiget completion times —
 the bridge for checking that simulator conclusions carry over to the real
 implementation.
 
-Open-loop means requests launch on the arrival process's schedule whether
-or not earlier ones finished (each multiget is an independent task), so
-the generator exerts real queueing pressure instead of self-throttling.
+Two generation modes, selected by ``mode`` (or by a declarative workload
+spec via :meth:`LoadGenerator.from_spec`):
+
+* **open** (default) — requests launch on the arrival process's schedule
+  whether or not earlier ones finished (each multiget is an independent
+  task), so the generator exerts real queueing pressure instead of
+  self-throttling;
+* **closed** — ``closed_concurrency`` workers each keep exactly one
+  multiget in flight, issuing the next only when the previous completes;
+  the offered rate self-throttles to the store's service rate and the
+  arrival clock is ignored.  See docs/workloads.md for when each mode is
+  the right measurement.
 """
 
 from __future__ import annotations
@@ -73,16 +82,57 @@ class LoadGenerator:
         fanout: FanoutSpec,
         popularity: PopularitySpec,
         seed: int = 0,
+        mode: str = "open",
+        closed_concurrency: int = 4,
     ):
         if not keys:
             raise ConfigError("keyspace is empty")
         if fanout.max_fanout() > len(keys):
             raise ConfigError("max fanout exceeds keyspace size")
+        if mode not in ("open", "closed"):
+            raise ConfigError(f"mode must be 'open' or 'closed', got {mode!r}")
+        if closed_concurrency < 1:
+            raise ConfigError("closed_concurrency must be >= 1")
         self.client = client
         self.keys = list(keys)
+        self.mode = mode
+        self.closed_concurrency = closed_concurrency
         self._arrivals = arrivals.build(np.random.default_rng(seed))
         self._fanout = fanout.build(np.random.default_rng(seed + 1))
         self._popularity = popularity.build(len(keys), np.random.default_rng(seed + 2))
+
+    @classmethod
+    def from_spec(
+        cls,
+        client: RuntimeClient,
+        keys: List[str],
+        spec,
+        seed: int = 0,
+    ) -> "LoadGenerator":
+        """Build a generator from a declarative :class:`WorkloadSpec`.
+
+        Uses the spec's arrival shape at its *declared* (absolute) rates —
+        the runtime has no analytic capacity model to calibrate a ``load``
+        target against — plus its fan-out, popularity, and generation
+        mode.  Trace specs are simulator-only and are rejected here.
+        """
+        from repro.errors import WorkloadError
+
+        if spec.trace is not None:
+            raise WorkloadError(
+                f"spec {spec.name!r}: trace replay is not supported by the "
+                "runtime load generator (simulator only)"
+            )
+        return cls(
+            client,
+            keys,
+            arrivals=spec.arrivals,
+            fanout=spec.fanout,
+            popularity=spec.popularity,
+            seed=seed,
+            mode=spec.mode,
+            closed_concurrency=spec.closed_concurrency,
+        )
 
     async def run(
         self,
@@ -106,6 +156,9 @@ class LoadGenerator:
                 return
             result.latencies.append(time.monotonic() - start)
 
+        if self.mode == "closed":
+            return await self._run_closed(n_requests, duration, result, one, t0)
+
         while True:
             if n_requests is not None and result.launched >= n_requests:
                 break
@@ -127,5 +180,36 @@ class LoadGenerator:
 
         if tasks:
             await asyncio.gather(*tasks)
+        result.wall_seconds = time.monotonic() - t0
+        return result
+
+    async def _run_closed(
+        self,
+        n_requests: Optional[int],
+        duration: Optional[float],
+        result: LoadgenResult,
+        one,
+        t0: float,
+    ) -> LoadgenResult:
+        """Closed-loop: N workers, one outstanding multiget each."""
+
+        def can_issue() -> bool:
+            if n_requests is not None and result.launched >= n_requests:
+                return False
+            if duration is not None and time.monotonic() - t0 >= duration:
+                return False
+            return True
+
+        async def worker() -> None:
+            while can_issue():
+                result.launched += 1
+                n = self._fanout.sample()
+                indices = self._popularity.sample_distinct(n)
+                keys = [self.keys[int(i)] for i in indices]
+                await one(keys)
+
+        await asyncio.gather(
+            *(worker() for _ in range(self.closed_concurrency))
+        )
         result.wall_seconds = time.monotonic() - t0
         return result

@@ -10,6 +10,7 @@ from repro.workload.arrivals import (
     ArrivalSpec,
     DeterministicArrivals,
     MMPPArrivals,
+    PhasedArrivals,
     PoissonArrivals,
     SinusoidalArrivals,
     TraceArrivals,
@@ -37,11 +38,28 @@ from repro.workload.sizes import (
     SizeSpec,
     UniformSize,
 )
-from repro.workload.traces import TraceRecord, read_trace, write_trace
+from repro.workload.traces import (
+    TraceInfo,
+    TraceRecord,
+    read_csv_trace,
+    read_trace,
+    remap_keys,
+    rescale_trace,
+    trace_info,
+    write_trace,
+)
 from repro.workload.patterns import TRAFFIC_PATTERNS, traffic_pattern
+from repro.workload.spec import WorkloadSpec, load_spec
+from repro.workload.registry import (
+    BUNDLED_SPECS_DIR,
+    SAMPLE_TRACE,
+    list_workloads,
+    workload,
+)
 
 __all__ = [
     "ArrivalSpec",
+    "BUNDLED_SPECS_DIR",
     "BimodalFanout",
     "BimodalSize",
     "DeterministicArrivals",
@@ -55,20 +73,31 @@ __all__ = [
     "LognormalSize",
     "MMPPArrivals",
     "ParetoSize",
+    "PhasedArrivals",
     "PoissonArrivals",
     "PopularitySpec",
     "SinusoidalArrivals",
     "RequestFactory",
     "RequestSpec",
+    "SAMPLE_TRACE",
     "SizeSpec",
     "TRAFFIC_PATTERNS",
     "TraceArrivals",
+    "TraceInfo",
     "TraceRecord",
     "UniformFanout",
     "UniformPopularity",
     "UniformSize",
+    "WorkloadSpec",
     "ZipfPopularity",
+    "list_workloads",
+    "load_spec",
+    "read_csv_trace",
     "read_trace",
+    "remap_keys",
+    "rescale_trace",
+    "trace_info",
     "traffic_pattern",
+    "workload",
     "write_trace",
 ]

@@ -183,6 +183,92 @@ class _MMPPSampler(ArrivalSampler):
 
 
 # ----------------------------------------------------------------------
+# Phased (deterministic schedule of Poisson rates)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhasedArrivals(ArrivalSpec):
+    """Poisson arrivals following a deterministic cyclic phase schedule.
+
+    ``phases`` is a sequence of ``(duration, rate)`` pairs; the process
+    emits Poisson arrivals at ``rate`` for ``duration`` seconds, then
+    moves to the next phase, cycling back to the first after the last.
+    Unlike :class:`MMPPArrivals` the phase boundaries are *deterministic*
+    (wall-clock, not exponentially distributed), which is what workload
+    specs need for warmup ramps and reproducible step loads.
+    """
+
+    phases: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self):
+        if not self.phases:
+            raise WorkloadError("phased arrivals need at least one phase")
+        for i, phase in enumerate(self.phases):
+            if len(phase) != 2:
+                raise WorkloadError(
+                    f"phase {i}: expected (duration, rate), got {phase!r}"
+                )
+            duration, rate = phase
+            if duration <= 0:
+                raise WorkloadError(f"phase {i}: duration must be positive")
+            if rate <= 0:
+                raise WorkloadError(f"phase {i}: rate must be positive")
+
+    def build(self, rng: np.random.Generator) -> ArrivalSampler:
+        return _PhasedSampler(self.phases, rng)
+
+    def mean_rate(self) -> float:
+        total = sum(d for d, _ in self.phases)
+        return sum(d * r for d, r in self.phases) / total
+
+    def scaled(self, factor: float) -> "PhasedArrivals":
+        return PhasedArrivals(
+            phases=tuple((d, r * factor) for d, r in self.phases)
+        )
+
+
+class _PhasedSampler(ArrivalSampler):
+    def __init__(
+        self,
+        phases: Sequence[Tuple[float, float]],
+        rng: np.random.Generator,
+    ):
+        self._phases = list(phases)
+        self._cycle = sum(d for d, _ in self._phases)
+        self._rng = as_batched(rng)
+
+    def _phase_at(self, t: float) -> Tuple[float, float]:
+        """Return (rate, end-of-phase time) for wall-clock time ``t``."""
+        offset = t % self._cycle
+        base = t - offset
+        elapsed = 0.0
+        for duration, rate in self._phases:
+            if offset < elapsed + duration:
+                return rate, base + elapsed + duration
+            elapsed += duration
+        # Floating-point edge: t lands exactly on the cycle boundary.
+        duration, rate = self._phases[0]
+        return rate, base + self._cycle + duration
+
+    def next_interarrival(self, now: float) -> float:
+        """Sample the next gap, honouring phase switches mid-gap.
+
+        Same thinning-free construction as the MMPP sampler: draw an
+        exponential at the current phase's rate; if it crosses the phase
+        boundary, restart the draw from the boundary (memorylessness),
+        except here the boundaries are deterministic clock times.
+        """
+        t = now
+        gap = 0.0
+        while True:
+            rate, until = self._phase_at(t)
+            candidate = self._rng.exponential(1.0 / rate)
+            if t + candidate <= until:
+                return gap + candidate
+            gap += until - t
+            t = until
+
+
+# ----------------------------------------------------------------------
 # Trace-driven
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

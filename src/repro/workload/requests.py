@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import WorkloadError
+from repro.errors import TraceFormatError, WorkloadError
 from repro.sim.rand import as_batched
 from repro.workload.arrivals import ArrivalSpec
 from repro.workload.fanout import FanoutSpec
@@ -213,7 +213,14 @@ class TraceReplayFactory:
             raise WorkloadError("stride must be >= 1")
         if start < 0 or start >= stride:
             raise WorkloadError("need 0 <= start < stride")
-        self._records = list(records)[start::stride]
+        records = list(records)
+        for i in range(1, len(records)):
+            if records[i].t < records[i - 1].t:
+                raise TraceFormatError(
+                    f"record {i}: arrival times must be non-decreasing "
+                    f"({records[i].t} after {records[i - 1].t})"
+                )
+        self._records = records[start::stride]
         self._idx = 0
         self.generated = 0
 

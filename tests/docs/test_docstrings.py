@@ -23,6 +23,8 @@ SCOPED_MODULES = [
     SRC / "sim" / "events.py",
     SRC / "sim" / "core.py",
     SRC / "core" / "das.py",
+    SRC / "workload" / "spec.py",
+    SRC / "workload" / "registry.py",
 ]
 
 

@@ -68,3 +68,25 @@ def test_readme_links_both_guides():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/experiments.md" in text
     assert "docs/benchmarking.md" in text
+    assert "docs/workloads.md" in text
+
+
+def test_bundled_spec_referenced_paths_resolve():
+    """Trace paths inside bundled workload specs must exist on disk."""
+    from repro.workload.registry import list_workloads, workload
+
+    missing = []
+    for name in list_workloads():
+        spec = workload(name)
+        if spec.trace is not None and not spec.trace.resolved_path().exists():
+            missing.append(f"{name}: {spec.trace.path}")
+    assert not missing, "dangling trace paths in bundled specs:\n" + "\n".join(missing)
+
+
+def test_workloads_doc_tables_every_bundled_spec():
+    """docs/workloads.md's registry table must stay in sync with specs/."""
+    from repro.workload.registry import list_workloads
+
+    text = (REPO_ROOT / "docs" / "workloads.md").read_text(encoding="utf-8")
+    undocumented = [n for n in list_workloads() if f"`{n}`" not in text]
+    assert not undocumented, f"bundled specs missing from docs/workloads.md: {undocumented}"

@@ -1,0 +1,87 @@
+"""Tests for spec-named scenario cells: determinism, checkpoints, CLI."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments.cli import main as cli_main
+from repro.experiments.parallel import cell_fingerprint, cell_tasks, run_scenario_parallel
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import workload_scenario
+from repro.obs import MetricsRegistry
+
+SCALE = 0.02
+
+
+class TestScenarioShape:
+    def test_grid_and_metadata(self):
+        scenario = workload_scenario("mmpp-burst", scale=SCALE)
+        assert scenario.experiment_id == "W:mmpp-burst"
+        assert len(scenario.points) == 1
+        assert scenario.points[0].config.workload == "mmpp-burst"
+        assert {s.label for s in scenario.schedulers} == {"FCFS", "Rein-SBF", "DAS"}
+
+    def test_unknown_ref_fails_fast(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            workload_scenario("no-such-spec", scale=SCALE)
+
+    def test_spec_file_path_accepted(self, tmp_path):
+        path = tmp_path / "mine.toml"
+        path.write_text('name = "mine"\nload = 0.4\n')
+        scenario = workload_scenario(str(path), scale=SCALE)
+        assert scenario.experiment_id == "W:mine"
+
+
+class TestDeterminism:
+    def test_parallel_matches_sequential(self):
+        """An X-series-style cell named by spec must be bit-identical
+        between the sequential and the worker-process engine."""
+        scenario = workload_scenario("x4-large-values", scale=SCALE)
+        seq = run_scenario(scenario)
+        par = run_scenario_parallel(workload_scenario("x4-large-values", scale=SCALE), workers=2)
+        assert set(par.cells) == set(seq.cells)
+        for key, seq_cell in seq.cells.items():
+            assert par.cells[key].summary == seq_cell.summary
+            assert par.cells[key].requests == seq_cell.requests
+
+    def test_trace_spec_parallel_matches_sequential(self):
+        scenario = workload_scenario("trace-sample", scale=SCALE)
+        seq = run_scenario(scenario)
+        par = run_scenario_parallel(workload_scenario("trace-sample", scale=SCALE), workers=2)
+        for key, seq_cell in seq.cells.items():
+            assert par.cells[key].summary == seq_cell.summary
+
+
+class TestCheckpointFingerprint:
+    def test_spec_content_joins_fingerprint(self, tmp_path):
+        """Editing a spec file must change the cell fingerprint, so stale
+        checkpoints never resume against a changed workload."""
+        path = tmp_path / "w.toml"
+        path.write_text('name = "w"\nload = 0.4\n')
+        before = cell_fingerprint(cell_tasks(workload_scenario(str(path), scale=SCALE))[0])
+        path.write_text('name = "w"\nload = 0.5\n')
+        after = cell_fingerprint(cell_tasks(workload_scenario(str(path), scale=SCALE))[0])
+        assert before != after
+
+    def test_resume_hits_for_unchanged_spec(self, tmp_path):
+        scenario = workload_scenario("single-get", scale=SCALE)
+        run_scenario_parallel(scenario, workers=1, checkpoint_dir=tmp_path)
+        registry = MetricsRegistry()
+        run_scenario_parallel(
+            workload_scenario("single-get", scale=SCALE),
+            workers=1,
+            checkpoint_dir=tmp_path,
+            registry=registry,
+        )
+        assert registry.value("engine_cells_resumed_total") == 3
+
+
+class TestCli:
+    def test_workload_flag_runs(self, capsys):
+        assert cli_main(["--workload", "uniform", "--scale", "0.02", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "W:uniform" in out
+        assert "DAS" in out
+
+    def test_workload_flag_with_bad_name_errors(self, capsys):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            cli_main(["--workload", "nope", "--scale", "0.02", "--quiet"])

@@ -106,6 +106,54 @@ class TestLoadGenerator:
 
         run(scenario())
 
+    def test_closed_loop_fires_requested_count(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                gen = LoadGenerator(
+                    cluster.client, keys,
+                    arrivals=PoissonArrivals(rate=1.0),  # ignored in closed mode
+                    fanout=FixedFanout(k=2),
+                    popularity=UniformPopularity(),
+                    mode="closed",
+                    closed_concurrency=3,
+                )
+                result = await gen.run(n_requests=30)
+                assert result.launched == 30
+                assert len(result.latencies) == 30
+                assert result.errors == 0
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_mode_validation(self):
+        async def scenario():
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                with pytest.raises(ConfigError, match="mode"):
+                    LoadGenerator(
+                        cluster.client, keys,
+                        arrivals=PoissonArrivals(rate=10.0),
+                        fanout=FixedFanout(k=1),
+                        popularity=UniformPopularity(),
+                        mode="half-open",
+                    )
+                with pytest.raises(ConfigError, match="closed_concurrency"):
+                    LoadGenerator(
+                        cluster.client, keys,
+                        arrivals=PoissonArrivals(rate=10.0),
+                        fanout=FixedFanout(k=1),
+                        popularity=UniformPopularity(),
+                        mode="closed",
+                        closed_concurrency=0,
+                    )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
     def test_deterministic_given_seed(self):
         async def scenario():
             cluster, keys = await make_cluster_and_keys()
@@ -125,6 +173,41 @@ class TestLoadGenerator:
                 draws_a = [a._popularity.sample_distinct(2).tolist() for _ in range(5)]
                 draws_b = [b._popularity.sample_distinct(2).tolist() for _ in range(5)]
                 assert draws_a == draws_b
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestFromSpec:
+    def test_builds_from_registry_spec(self):
+        async def scenario():
+            from repro.workload.registry import workload
+
+            cluster, keys = await make_cluster_and_keys(n_keys=100)
+            try:
+                spec = workload("closed-loop")
+                gen = LoadGenerator.from_spec(cluster.client, keys, spec)
+                assert gen.mode == "closed"
+                assert gen.closed_concurrency == spec.closed_concurrency
+                result = await gen.run(n_requests=16)
+                assert len(result.latencies) == 16
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_trace_spec_rejected(self):
+        async def scenario():
+            from repro.errors import WorkloadError
+            from repro.workload.registry import workload
+
+            cluster, keys = await make_cluster_and_keys()
+            try:
+                with pytest.raises(WorkloadError, match="simulator only"):
+                    LoadGenerator.from_spec(
+                        cluster.client, keys, workload("trace-sample")
+                    )
             finally:
                 await cluster.stop()
 

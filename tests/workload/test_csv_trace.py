@@ -1,0 +1,193 @@
+"""Tests for cache-trace CSV ingest, rescaling, remapping, and summary."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workload.registry import SAMPLE_TRACE
+from repro.workload.requests import TraceReplayFactory
+from repro.workload.traces import (
+    TraceRecord,
+    read_csv_trace,
+    remap_keys,
+    rescale_trace,
+    trace_info,
+)
+
+CSV = """timestamp,key,op,size
+0.000,alpha,get,100
+0.100,beta,set,200
+0.250,alpha,get,100
+0.400,gamma,GET,50
+"""
+
+
+def write(tmp_path, text, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestCsvIngest:
+    def test_basic_parse(self, tmp_path):
+        records = read_csv_trace(write(tmp_path, CSV))
+        assert len(records) == 4
+        assert records[0] == TraceRecord(t=0.0, keys=["alpha"], sizes=[100])
+        assert records[1].is_put == [True]
+        assert records[3].keys == ["gamma"]  # ops are case-insensitive
+
+    def test_headerless_file(self, tmp_path):
+        body = "\n".join(CSV.splitlines()[1:]) + "\n"
+        assert len(read_csv_trace(write(tmp_path, body))) == 4
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        text = "# a comment\n\n0.0,k,get,10\n\n0.5,k,get,10\n"
+        assert len(read_csv_trace(write(tmp_path, text))) == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        text = "0.0,k,get,10,ttl=60,client7\n"
+        records = read_csv_trace(write(tmp_path, text))
+        assert records[0].sizes == [10]
+
+    def test_limit(self, tmp_path):
+        assert len(read_csv_trace(write(tmp_path, CSV), limit=2)) == 2
+
+    def test_op_aliases(self, tmp_path):
+        text = "0.0,k,read,1\n0.1,k,write,1\n0.2,k,add,1\n0.3,k,cas,1\n"
+        records = read_csv_trace(write(tmp_path, text))
+        assert [r.is_put[0] for r in records] == [False, True, True, True]
+
+    def test_non_monotone_names_line(self, tmp_path):
+        text = "0.0,k,get,1\n2.0,k,get,1\n1.0,k,get,1\n"
+        with pytest.raises(TraceFormatError, match="line 3.*non-decreasing"):
+            read_csv_trace(write(tmp_path, text))
+
+    def test_bad_timestamp_names_line(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="line 2: bad timestamp"):
+            read_csv_trace(write(tmp_path, "0.0,k,get,1\nnope,k,get,1\n"))
+
+    def test_unknown_op_names_line(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="line 1: unknown op 'frob'"):
+            read_csv_trace(write(tmp_path, "0.0,k,frob,1\n"))
+
+    def test_bad_size_names_line(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="line 1: bad size"):
+            read_csv_trace(write(tmp_path, "0.0,k,get,huge\n"))
+
+    def test_missing_columns_names_line(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="line 1: expected 4 columns"):
+            read_csv_trace(write(tmp_path, "0.0,k,get\n"))
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no records"):
+            read_csv_trace(write(tmp_path, "timestamp,key,op,size\n"))
+
+    def test_bundled_sample_parses(self):
+        records = read_csv_trace(SAMPLE_TRACE)
+        assert len(records) == 240
+        info = trace_info(records)
+        assert info.distinct_keys > 10
+        assert 0.0 < info.put_fraction < 0.5
+
+
+class TestRescale:
+    def records(self):
+        return [
+            TraceRecord(t=10.0, keys=["a"], sizes=[1]),
+            TraceRecord(t=12.0, keys=["b"], sizes=[1]),
+            TraceRecord(t=14.0, keys=["c"], sizes=[1]),
+        ]
+
+    def test_duration_target(self):
+        out = rescale_trace(self.records(), duration=2.0)
+        assert [r.t for r in out] == [0.0, 1.0, 2.0]
+
+    def test_rate_target(self):
+        out = rescale_trace(self.records(), rate=1.0)
+        assert [r.t for r in out] == [0.0, 1.0, 2.0]
+
+    def test_payload_untouched(self):
+        out = rescale_trace(self.records(), duration=1.0)
+        assert [r.keys for r in out] == [["a"], ["b"], ["c"]]
+
+    def test_exactly_one_target(self):
+        with pytest.raises(TraceFormatError, match="exactly one"):
+            rescale_trace(self.records())
+        with pytest.raises(TraceFormatError, match="exactly one"):
+            rescale_trace(self.records(), duration=1.0, rate=1.0)
+
+    def test_single_record_only_shifts(self):
+        out = rescale_trace([TraceRecord(t=5.0, keys=["a"], sizes=[1])], duration=2.0)
+        assert out[0].t == 0.0
+
+
+class TestRemap:
+    def test_first_appearance_order(self):
+        records = [
+            TraceRecord(t=0.0, keys=["zz"], sizes=[1]),
+            TraceRecord(t=1.0, keys=["aa"], sizes=[1]),
+            TraceRecord(t=2.0, keys=["zz"], sizes=[1]),
+        ]
+        out = remap_keys(records, keyspace_size=100)
+        assert out[0].keys == ["key:0000000000"]
+        assert out[1].keys == ["key:0000000001"]
+        assert out[2].keys == ["key:0000000000"]  # same trace key, same name
+
+    def test_aliasing_wraps_modulo(self):
+        records = [
+            TraceRecord(t=float(i), keys=[f"k{i}"], sizes=[1]) for i in range(5)
+        ]
+        out = remap_keys(records, keyspace_size=2)
+        assert out[2].keys == ["key:0000000000"]
+        assert out[3].keys == ["key:0000000001"]
+
+    def test_deterministic(self):
+        records = read_csv_trace(SAMPLE_TRACE)
+        a = remap_keys(records, keyspace_size=50)
+        b = remap_keys(records, keyspace_size=50)
+        assert a == b
+
+
+class TestTraceInfo:
+    def test_summary_fields(self):
+        records = [
+            TraceRecord(t=0.0, keys=["a"], sizes=[10]),
+            TraceRecord(t=2.0, keys=["b"], sizes=[30], is_put=[True]),
+        ]
+        info = trace_info(records)
+        assert info.records == 2
+        assert info.ops == 2
+        assert info.duration == 2.0
+        assert info.mean_rate == 0.5
+        assert info.distinct_keys == 2
+        assert info.put_fraction == 0.5
+        assert (info.size_min, info.size_max) == (10, 30)
+        assert info.size_mean == 20.0
+
+    def test_describe_is_human_readable(self):
+        info = trace_info(read_csv_trace(SAMPLE_TRACE))
+        text = info.describe()
+        assert "240 records" in text
+        assert "distinct keys" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            trace_info([])
+
+
+class TestReplayFactoryGuard:
+    def test_non_monotone_records_rejected(self):
+        records = [
+            TraceRecord(t=0.0, keys=["a"], sizes=[1]),
+            TraceRecord(t=2.0, keys=["b"], sizes=[1]),
+        ]
+        # Forge a non-monotone sequence by reordering valid records.
+        with pytest.raises(TraceFormatError, match="record 1.*non-decreasing"):
+            TraceReplayFactory(list(reversed(records)))
+
+    def test_monotone_records_accepted(self):
+        records = [
+            TraceRecord(t=0.0, keys=["a"], sizes=[1]),
+            TraceRecord(t=0.0, keys=["b"], sizes=[1]),  # ties are fine
+            TraceRecord(t=1.0, keys=["c"], sizes=[1]),
+        ]
+        assert len(TraceReplayFactory(records)) == 3
