@@ -1,15 +1,20 @@
 """Experiment-engine benchmark: emits the ``BENCH_engine.json`` perf record.
 
-Measures the two numbers that bound experiment throughput (see
+Measures the numbers that bound experiment throughput (see
 ``docs/benchmarking.md``):
 
-* **sim events/sec** — raw kernel throughput (timeout schedule/fire
-  cycles) plus an end-to-end cell rate (simulated requests/sec through a
-  full cluster), the quantities the hot-path work in ``repro.sim`` /
-  ``repro.kvstore.items`` targets;
+* **event_core** — raw pending-set throughput, heap vs array backend,
+  scalar one-event-per-call and bulk ``schedule_many``/``pop_many``
+  lanes, with the calendar-queue counters (bucket resizes, slot-reuse
+  hit rate) alongside;
+* **sim events/sec** — kernel throughput through the ``Environment``
+  facade (timeout schedule/fire cycles) plus an end-to-end cell rate
+  (simulated requests/sec through a full cluster), the quantities the
+  hot-path work in ``repro.sim`` / ``repro.kvstore.items`` targets;
 * **cells/sec, sequential vs N workers** — the parallel engine's fan-out
   gain on a multi-cell scenario, with a cell-for-cell equality check
-  against the sequential runner (the determinism guarantee).
+  against the sequential runner (the determinism guarantee).  The whole
+  record carries a top-level ``backend`` field (``$REPRO_ENGINE``).
 
 Run from the repository root::
 
@@ -38,10 +43,85 @@ from repro.experiments.parallel import run_scenario_parallel
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import get_scenario
 from repro.sim.core import Environment
+from repro.sim.eventcore import NORMAL, ArrayEventCore, HeapEventCore, resolve_engine
 from repro.sim.rand import BatchedStream
 
 #: Experiment the cells/sec comparison runs (small grid, mixed schedulers).
 SCENARIO_ID = "E2"
+
+
+def measure_event_core(
+    n: int = 200_000, hold: int = 1024, bulk_batch: int = 8192, repeats: int = 3
+) -> dict:
+    """Raw event-core throughput: heap vs array, scalar vs bulk (best of N).
+
+    All legs run the classic *hold model* (pop the next event, schedule
+    its successor one time unit later, at a steady ``hold`` pending
+    events) so the numbers isolate the pending-set data structure from
+    everything the :class:`Environment` layers on top.  The scalar legs
+    drive one event per call — the facade's hot path; the bulk leg
+    drives :meth:`ArrayEventCore.schedule_many` / ``pop_many`` in
+    ``bulk_batch``-sized rounds, which is the ≥5M events/s lane (per-call
+    Python overhead cannot reach that figure, vectorized columns can).
+    """
+
+    def scalar_rate(make_core) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            core = make_core()
+            seq = 0
+            for i in range(hold):
+                core.schedule(float(i), NORMAL, seq, None)
+                seq += 1
+            pop, schedule = core.pop, core.schedule
+            t0 = time.perf_counter()
+            for _ in range(n):
+                when, _prio, _seq, _payload = pop()
+                schedule(when + float(hold), NORMAL, seq, None)
+                seq += 1
+            best = max(best, n / (time.perf_counter() - t0))
+        return best
+
+    heap_rate = scalar_rate(HeapEventCore)
+    array_rate = scalar_rate(ArrayEventCore)
+
+    bulk_best = 0.0
+    bulk_stats: dict = {}
+    rounds = max(1, n // bulk_batch)
+    for _ in range(repeats):
+        core = ArrayEventCore()
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.random(bulk_batch))
+        core.schedule_many(times, NORMAL, np.arange(bulk_batch, dtype=np.int64))
+        next_seq = bulk_batch
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            popped, _slots, _ = core.pop_many(bulk_batch)
+            k = popped.shape[0]
+            core.schedule_many(
+                popped + 1.0,
+                NORMAL,
+                np.arange(next_seq, next_seq + k, dtype=np.int64),
+            )
+            next_seq += k
+        rate = rounds * bulk_batch / (time.perf_counter() - t0)
+        if rate > bulk_best:
+            bulk_best = rate
+            bulk_stats = core.stats()
+    return {
+        "hold": hold,
+        "cycles": n,
+        "heap_events_per_second": heap_rate,
+        "array_events_per_second": array_rate,
+        "array_speedup": array_rate / heap_rate,
+        "bulk_batch": bulk_batch,
+        "array_bulk_events_per_second": bulk_best,
+        "bucket_resizes": bulk_stats.get("bucket_resizes", 0),
+        "array_grows": bulk_stats.get("array_grows", 0),
+        "slot_reuse_hits": bulk_stats.get("slot_reuse_hits", 0),
+        "slot_reuse_misses": bulk_stats.get("slot_reuse_misses", 0),
+        "slot_reuse_hit_rate": bulk_stats.get("slot_reuse_hit_rate", 0.0),
+    }
 
 
 def measure_kernel_events(n: int = 200_000, repeats: int = 3) -> float:
@@ -134,14 +214,23 @@ def measure_scenario(scale: float, workers: int) -> dict:
     # The pool never uses more workers than there are cells; record what
     # actually ran so the speedup number is interpretable.
     effective_workers = min(workers, n_cells)
+    timing_skipped = effective_workers <= 1
 
     t0 = time.perf_counter()
     seq = run_scenario(scenario)
     seq_wall = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    par = run_scenario_parallel(scenario, workers=workers)
-    par_wall = time.perf_counter() - t0
+    if timing_skipped:
+        # A one-worker pool cannot beat the sequential runner, so a timed
+        # parallel pass would only publish a slower-than-sequential number
+        # that misreads as a regression.  Run the parallel engine untimed
+        # purely for the determinism check.
+        par = run_scenario_parallel(scenario, workers=workers)
+        par_wall = None
+    else:
+        t0 = time.perf_counter()
+        par = run_scenario_parallel(scenario, workers=workers)
+        par_wall = time.perf_counter() - t0
 
     identical = all(
         seq.cells[key].summary == par.cells[key].summary
@@ -155,18 +244,12 @@ def measure_scenario(scale: float, workers: int) -> dict:
         "sequential_cells_per_second": n_cells / seq_wall,
         "parallel_workers": effective_workers,
         "parallel_workers_requested": workers,
-        "parallel_wall_seconds": par_wall,
-        "parallel_cells_per_second": n_cells / par_wall,
+        "parallel_timing_skipped": timing_skipped,
         "cells_identical": identical,
     }
-    if effective_workers <= 1:
-        # A one-worker pool cannot beat the sequential runner; reporting a
-        # sub-1.0 "speedup" would misread as a regression.
-        record["speedup"] = None
-        record["speedup_note"] = (
-            "only 1 worker available; parallel speedup not measurable"
-        )
-    else:
+    if not timing_skipped:
+        record["parallel_wall_seconds"] = par_wall
+        record["parallel_cells_per_second"] = n_cells / par_wall
         record["speedup"] = seq_wall / par_wall
     return record
 
@@ -180,6 +263,21 @@ def main(argv=None) -> int:
                         help="pool size for the parallel leg (0 = one per CPU)")
     args = parser.parse_args(argv)
     workers = args.workers or os.cpu_count() or 1
+
+    backend = resolve_engine()
+    print(f"[bench_engine] backend: {backend}", flush=True)
+
+    print(f"[bench_engine] event core (heap vs array, scalar vs bulk) ...",
+          flush=True)
+    event_core = measure_event_core()
+    print(
+        f"[bench_engine]   scalar {event_core['heap_events_per_second']:,.0f} "
+        f"(heap) -> {event_core['array_events_per_second']:,.0f} (array) "
+        f"events/s; bulk {event_core['array_bulk_events_per_second']:,.0f} "
+        f"events/s (resizes {event_core['bucket_resizes']}, "
+        f"slot reuse {event_core['slot_reuse_hit_rate']:.3f})",
+        flush=True,
+    )
 
     print(f"[bench_engine] kernel events/sec ...", flush=True)
     events_per_second = measure_kernel_events()
@@ -205,16 +303,21 @@ def main(argv=None) -> int:
     print(f"[bench_engine] {SCENARIO_ID} sequential vs {workers} workers ...",
           flush=True)
     scenario = measure_scenario(args.scale, workers)
-    speedup = scenario["speedup"]
-    speedup_text = f"speedup {speedup:.2f}x" if speedup is not None else (
-        "speedup n/a (1 worker)"
-    )
-    print(
-        f"[bench_engine]   {scenario['sequential_cells_per_second']:.2f} -> "
-        f"{scenario['parallel_cells_per_second']:.2f} cells/s "
-        f"({speedup_text}, identical={scenario['cells_identical']})",
-        flush=True,
-    )
+    if scenario["parallel_timing_skipped"]:
+        print(
+            f"[bench_engine]   {scenario['sequential_cells_per_second']:.2f} "
+            f"cells/s sequential; parallel timing skipped (1 worker), "
+            f"identical={scenario['cells_identical']}",
+            flush=True,
+        )
+    else:
+        print(
+            f"[bench_engine]   {scenario['sequential_cells_per_second']:.2f} -> "
+            f"{scenario['parallel_cells_per_second']:.2f} cells/s "
+            f"(speedup {scenario['speedup']:.2f}x, "
+            f"identical={scenario['cells_identical']})",
+            flush=True,
+        )
 
     record = {
         "benchmark": "engine",
@@ -222,7 +325,9 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "backend": backend,
         "sim_events_per_second": events_per_second,
+        "event_core": event_core,
         "sampling": sampling,
         "cell_end_to_end": cell,
         "scenario_throughput": scenario,

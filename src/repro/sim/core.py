@@ -1,14 +1,22 @@
-"""The simulation environment: virtual clock plus event loop."""
+"""The simulation environment: virtual clock plus event loop.
+
+Since the event-core rework the pending-event set lives behind a
+swappable backend (:mod:`repro.sim.eventcore`): the default ``array``
+backend is a calendar-queue over preallocated numpy slot storage, and
+``heap`` is the original binary-heap engine kept as the bit-identity
+oracle and escape hatch.  Both implement the same ``(time, priority,
+seq)`` total order, so runs are trace-identical across backends; select
+with ``Environment(engine=...)`` or ``$REPRO_ENGINE``.
+"""
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Union
 
+from repro.sim.eventcore import NORMAL, URGENT, make_event_core, resolve_engine
 from repro.sim.events import (
-    NORMAL,
-    URGENT,
     AllOf,
     AnyOf,
     Event,
@@ -35,6 +43,16 @@ class Environment:
     Time is a float starting at ``initial_time`` and only moves forward.
     Events scheduled for the same instant run in FIFO order within the same
     priority class, which makes runs fully deterministic.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    engine:
+        Event-core backend: ``"array"`` (calendar queue over numpy slot
+        storage, the default) or ``"heap"`` (the original binary heap).
+        ``None`` reads ``$REPRO_ENGINE``, falling back to ``"array"``.
+        Firing order is bit-identical either way.
     """
 
     #: Free-list bounds: enough to absorb every in-flight pooled object of
@@ -42,9 +60,17 @@ class Environment:
     _TIMEOUT_POOL_MAX = 4096
     _CB_POOL_MAX = 8192
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, engine: Optional[str] = None):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._engine = resolve_engine(engine)
+        self._core = make_event_core(self._engine)
+        #: Heap fast path: the run loop pushes/pops the heap list directly
+        #: (None under the array backend, where the core's calendar is
+        #: the hot path instead).
+        self._queue: Optional[list[tuple[float, int, int, Event]]] = (
+            self._core.entries if self._engine == "heap" else None
+        )
+        self._core_schedule = self._core.schedule
         self._eid = count()
         self._active_process: Optional[Process] = None
         #: Free lists (see :meth:`pooled_timeout`): recycled Timeout
@@ -64,6 +90,11 @@ class Environment:
         return self._now
 
     @property
+    def engine(self) -> str:
+        """Name of the event-core backend (``"heap"`` or ``"array"``)."""
+        return self._engine
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
@@ -74,8 +105,15 @@ class Environment:
         proc = self._active_process
         return proc._generator if proc is not None else None
 
+    def core_stats(self) -> dict:
+        """The event core's counters (pending, resizes, slot reuse...)."""
+        return self._core.stats()
+
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return (
+            f"<Environment now={self._now} queued={len(self._core)} "
+            f"engine={self._engine}>"
+        )
 
     # ------------------------------------------------------------------
     # Event factories
@@ -152,18 +190,22 @@ class Environment:
         schedules itself at NORMAL) — this method is the hottest function
         in the simulator and does no classification of its own.
         """
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        queue = self._queue
+        if queue is not None:
+            heapq.heappush(queue, (self._now + delay, priority, next(self._eid), event))
+        else:
+            self._core_schedule(self._now + delay, priority, next(self._eid), event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._core.peek_time()
 
     def step(self) -> None:
         """Process the single next event; advance the clock to it."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = self._core.pop()
         except IndexError:
-            raise EmptySchedule() from None
+            raise EmptySchedule(self._core.empty_message(self._now)) from None
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -187,14 +229,16 @@ class Environment:
             event._value = None  # drop the payload reference while pooled
             self._timeout_pool.append(event)
 
-    def run(self, until: Any = None) -> Any:
+    def run(self, until: Union[Event, float, None] = None) -> Any:
         """Run the simulation.
 
         Parameters
         ----------
         until:
             ``None`` — run until no events remain.
-            a number — run until the clock reaches that time.
+            a number — run until the clock reaches that time; must be
+            finite-or-inf, non-negative, not NaN, and not in the past
+            (``ValueError`` otherwise).
             an :class:`Event` — run until that event triggers, returning its
             value (or raising its failure).
         """
@@ -212,14 +256,35 @@ class Environment:
             stop_event.callbacks.append(_stop_callback)
         else:
             at = float(until)
+            if at != at:
+                raise ValueError("until must not be NaN")
+            if at < 0.0:
+                raise ValueError(f"until={at} is negative")
             if at < self._now:
                 raise ValueError(f"until={at} is in the past (now={self._now})")
             stop_event = Event(self)
             stop_event._ok = True
             stop_event._value = None
             stop_event.callbacks.append(_stop_callback)
-            heapq.heappush(self._queue, (at, URGENT, -1, stop_event))
+            self._core.schedule(at, URGENT, -1, stop_event)
 
+        try:
+            if self._queue is not None:
+                self._run_heap()
+            else:
+                self._run_array()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None and not stop_event.triggered:
+            if isinstance(until, Event):
+                raise RuntimeError(
+                    "simulation ran out of events before the awaited "
+                    f"event {until!r} triggered"
+                )
+        return None
+
+    def _run_heap(self) -> None:
+        """Drain the heap backend until empty or :class:`StopSimulation`."""
         # Inlined event loop (rather than `while True: self.step()`): the
         # loop body runs once per simulated event, so the method-call and
         # attribute-lookup overhead of delegating to step() is measurable
@@ -230,38 +295,65 @@ class Environment:
         timeout_pool = self._timeout_pool
         cb_pool_max = self._CB_POOL_MAX
         timeout_pool_max = self._TIMEOUT_POOL_MAX
-        try:
-            while queue:
-                when, _, _, event = pop(queue)
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event.defused:
-                    # Nobody consumed the failure: surface it rather than
-                    # losing it.
-                    raise event._value
-                # Inlined _recycle (same reasoning as inlining the loop).
-                callbacks.clear()
-                if len(cb_pool) < cb_pool_max:
-                    cb_pool.append(callbacks)
-                if (
-                    type(event) is Timeout
-                    and event._recyclable
-                    and len(timeout_pool) < timeout_pool_max
-                ):
-                    event._value = None
-                    timeout_pool.append(event)
-        except StopSimulation as stop:
-            return stop.value
-        if stop_event is not None and not stop_event.triggered:
-            if isinstance(until, Event):
-                raise RuntimeError(
-                    "simulation ran out of events before the awaited "
-                    f"event {until!r} triggered"
-                )
-        return None
+        while queue:
+            when, _, _, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                # Nobody consumed the failure: surface it rather than
+                # losing it.
+                raise event._value
+            # Inlined _recycle (same reasoning as inlining the loop).
+            callbacks.clear()
+            if len(cb_pool) < cb_pool_max:
+                cb_pool.append(callbacks)
+            if (
+                type(event) is Timeout
+                and event._recyclable
+                and len(timeout_pool) < timeout_pool_max
+            ):
+                event._value = None
+                timeout_pool.append(event)
+
+    def _run_array(self) -> None:
+        """Drain the calendar backend until empty or :class:`StopSimulation`.
+
+        Same inlined body as :meth:`_run_heap`; only the pop source
+        differs (the core's scalar lane instead of ``heapq``).
+        """
+        pop = self._core.pop
+        cb_pool = self._cb_pool
+        timeout_pool = self._timeout_pool
+        cb_pool_max = self._CB_POOL_MAX
+        timeout_pool_max = self._TIMEOUT_POOL_MAX
+        while True:
+            try:
+                when, _, _, event = pop()
+            except IndexError:
+                return
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                # Nobody consumed the failure: surface it rather than
+                # losing it.
+                raise event._value
+            # Inlined _recycle (same reasoning as inlining the loop).
+            callbacks.clear()
+            if len(cb_pool) < cb_pool_max:
+                cb_pool.append(callbacks)
+            if (
+                type(event) is Timeout
+                and event._recyclable
+                and len(timeout_pool) < timeout_pool_max
+            ):
+                event._value = None
+                timeout_pool.append(event)
 
     def run_until_idle(self) -> None:
         """Drain every remaining event (alias of ``run()`` with no bound)."""

@@ -1,0 +1,891 @@
+"""Array-based event cores: the pending-event set behind the environment.
+
+This module is the new bottom of the simulator stack.  An *event core*
+owns the set of scheduled-but-not-yet-fired events and answers exactly
+two hot questions: "here is an event for time ``t``" (:meth:`schedule`)
+and "what fires next?" (:meth:`pop`).  Everything above it —
+:class:`~repro.sim.core.Environment`, :class:`~repro.sim.events.Event`,
+processes, stores — is unchanged; the core is swappable via the
+``REPRO_ENGINE`` environment variable (``heap`` or ``array``) or the
+``engine=`` argument of :class:`~repro.sim.core.Environment`.
+
+Both cores implement the same total order — ``(time, priority, seq)``
+lexicographically, ``seq`` breaking ties by insertion order — so a run
+under either backend fires events **bit-identically** (determinism
+guarantee #7 in ``docs/benchmarking.md``; pinned by
+``tests/sim/test_eventcore.py`` and the full-cell trace-equality tests
+in ``tests/experiments/test_engine_backends.py``).
+
+:class:`HeapEventCore` is the reference implementation: the PR-3 binary
+heap of ``(time, priority, seq, payload)`` tuples, unchanged.
+
+:class:`ArrayEventCore` is the performance implementation, two lanes
+over one calendar-queue index:
+
+* **Scalar lane** (what the :class:`Environment` facade uses): events
+  are radix-bucketed by ``floor(time / bucket_width)`` into plain
+  Python buckets of key tuples.  A bucket is sorted **lazily** — once,
+  with the C ``list.sort``, when the clock reaches it — and drained
+  from a reversed run list, so the steady-state cost per event is one
+  append plus one pop instead of a ``heapq`` sift.  Events that land
+  at or before the loaded run (same-instant cascades: ``succeed``,
+  interrupts, zero timeouts) go to a small *overlay* heap that is
+  head-merged with the run, which keeps insert-during-drain exact
+  without re-sorting.
+* **Bulk lane** (:meth:`schedule_many` / :meth:`pop_many`): events live
+  as *slots* in preallocated numpy structured-array columns
+  (``time`` / ``prio`` / ``seq`` / ``kind``; the slot id doubles as the
+  payload index into a parallel payload table).  Slots are recycled
+  through a free list (the array-side analogue of the PR-4 ``Timeout``
+  pool) and the arrays grow geometrically.  Scheduling, bucket
+  partition, intra-bucket ordering (``numpy.lexsort``) and draining are
+  all vectorized, which is what takes the core past the 5M events/s
+  target in ``benchmarks/bench_engine.py`` — per-object heap entries
+  cannot get there in CPython.
+
+The calendar index self-tunes: a bucket whose scalar population exceeds
+``split_threshold`` triggers a width shrink, chronically near-empty
+buckets trigger a width growth, and events beyond the bucketed horizon
+wait in an overflow area that is re-bucketed (with a fresh width
+estimate) when the clock reaches it.  Every re-bucket is counted in
+``stats()["bucket_resizes"]``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from heapq import heappop, heappush
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "URGENT",
+    "NORMAL",
+    "KIND_IMMEDIATE",
+    "KIND_TIMEOUT",
+    "KIND_STOP",
+    "EVENT_DTYPE",
+    "ENGINE_ENV_VAR",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "resolve_engine",
+    "make_event_core",
+    "HeapEventCore",
+    "ArrayEventCore",
+]
+
+#: Scheduling priorities.  URGENT is used for already-triggered events
+#: (succeed/fail/interrupt) so they run before timeouts scheduled for
+#: the same instant; NORMAL is used for timeouts.  These historically
+#: lived in :mod:`repro.sim.events`, which still re-exports them.
+URGENT = 0
+NORMAL = 1
+
+#: Event-kind codes for the structured array's ``kind`` column.  The
+#: scalar facade does not classify (it would cost an isinstance per
+#: event); bulk callers tag their batches so dumps are readable.
+KIND_IMMEDIATE = 0
+KIND_TIMEOUT = 1
+KIND_STOP = 2
+
+#: Column layout of the preallocated event store.  The slot id is the
+#: payload index: ``payload_table[slot]`` holds the Python-side payload
+#: for the row, so no object pointer lives inside the numpy array.
+EVENT_DTYPE = np.dtype(
+    [("time", "f8"), ("prio", "i4"), ("seq", "i8"), ("kind", "i2")]
+)
+
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+DEFAULT_ENGINE = "array"
+ENGINES = ("heap", "array")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the backend name: explicit arg > ``REPRO_ENGINE`` > default."""
+    name = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR)
+    if name is None or name == "":
+        name = DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown event-core engine {name!r}; expected one of {ENGINES} "
+            f"(set via the engine= argument or ${ENGINE_ENV_VAR})"
+        )
+    return name
+
+
+def make_event_core(engine: Optional[str] = None):
+    """Build the event core selected by ``engine`` / ``$REPRO_ENGINE``."""
+    name = resolve_engine(engine)
+    return HeapEventCore() if name == "heap" else ArrayEventCore()
+
+
+class HeapEventCore:
+    """Reference pending-set: a binary heap of ``(time, prio, seq, payload)``.
+
+    This is the PR-3 implementation factored out of the environment.  It
+    exists as the bit-identity oracle for :class:`ArrayEventCore` and as
+    an escape hatch (``REPRO_ENGINE=heap``); the environment still
+    inlines ``heappush``/``heappop`` against :attr:`entries` on its hot
+    path, so selecting this backend reproduces the old engine exactly.
+    """
+
+    __slots__ = ("entries",)
+
+    name = "heap"
+
+    def __init__(self):
+        #: The live heap list.  Exposed so the Environment's inlined
+        #: loop can push/pop without a method call per event.
+        self.entries: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def schedule(self, time: float, prio: int, seq: int, payload: Any) -> None:
+        """Add one pending event."""
+        heappush(self.entries, (time, prio, seq, payload))
+
+    def pop(self) -> tuple:
+        """Remove and return the next ``(time, prio, seq, payload)``.
+
+        Raises ``IndexError`` when empty (like ``list.pop``).
+        """
+        return heappop(self.entries)
+
+    def peek_time(self) -> float:
+        """Time of the next event, or ``inf`` when empty."""
+        return self.entries[0][0] if self.entries else math.inf
+
+    def stats(self) -> dict:
+        """Introspection counters (schema shared with the array core)."""
+        return {
+            "backend": "heap",
+            "pending": len(self.entries),
+            "bucket_resizes": 0,
+            "slot_reuse_hits": 0,
+            "slot_reuse_misses": 0,
+            "slot_reuse_hit_rate": 0.0,
+        }
+
+    def empty_message(self, now: float) -> str:
+        """Describe the pending-set state for :class:`EmptySchedule`."""
+        return (
+            f"event core is empty: 0 pending events at now={now} "
+            "(backend=heap)"
+        )
+
+
+class ArrayEventCore:
+    """Calendar-queue pending-set over preallocated numpy slot storage.
+
+    Parameters
+    ----------
+    capacity:
+        Initial slot count of the structured-array store (grows ×2).
+    bucket_width:
+        Initial calendar bucket width in simulated time units.  The
+        width self-tunes (see module docstring); the starting value only
+        matters for the first few thousand events.
+    nbuckets:
+        Bucketed horizon: events later than ``nbuckets`` buckets past
+        the current base wait in the overflow area until the calendar
+        advances (classic calendar-queue "next year" handling, without
+        the modulo wraparound).
+    split_threshold:
+        Scalar-tuple population above which a bucket triggers a width
+        shrink instead of being sorted wholesale.
+    """
+
+    __slots__ = (
+        "_time", "_prio", "_seq", "_kind", "_payload",
+        "_free", "_free_top", "_next_fresh",
+        "_buckets", "_idheap", "_inv_width", "_width", "_nbuckets",
+        "_horizon_base", "_horizon_time",
+        "_run", "_run_max", "_overlay",
+        "_crun_time", "_crun_prio", "_crun_seq", "_crun_slots", "_crun_pos",
+        "_overflow_tuples", "_overflow_chunks",
+        "_len", "_split_threshold", "_widen_floor",
+        "_occ_ewma", "_loads", "_resizes", "_grows",
+        "_slot_hits", "_slot_misses", "_bulk_payloads_used",
+    )
+
+    name = "array"
+
+    _WIDEN_CHECK_EVERY = 64
+
+    #: Pending-set size below which scalar schedules go straight to the
+    #: overlay heap: a ~6-deep binary heap beats bucket bookkeeping, and
+    #: small sims (the M/M/1 validation runs, unit tests) never touch
+    #: the calendar at all.  Order stays exact because pop() merges the
+    #: overlay against loaded buckets by tuple comparison.
+    _SMALL_HEAP_MAX = 64
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        bucket_width: float = 1.0,
+        nbuckets: int = 4096,
+        split_threshold: int = 4096,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not (bucket_width > 0.0 and math.isfinite(bucket_width)):
+            raise ValueError("bucket_width must be positive and finite")
+        if nbuckets < 2:
+            raise ValueError("nbuckets must be >= 2")
+        if split_threshold < 8:
+            raise ValueError("split_threshold must be >= 8")
+        # Slot store: one structured array, column views cached because
+        # ``arr["time"]`` builds a new view object per access.
+        store = np.zeros(capacity, EVENT_DTYPE)
+        self._time = store["time"]
+        self._prio = store["prio"]
+        self._seq = store["seq"]
+        self._kind = store["kind"]
+        self._payload: list[Any] = [None] * capacity
+        # Free list as a numpy stack: bulk alloc/free are slice ops.
+        self._free = np.empty(capacity, dtype=np.int64)
+        self._free_top = 0
+        self._next_fresh = 0
+        # Calendar index.
+        self._buckets: dict[int, list] = {}
+        self._idheap: list[int] = []
+        self._width = float(bucket_width)
+        self._inv_width = 1.0 / float(bucket_width)
+        self._nbuckets = int(nbuckets)
+        self._horizon_base = 0
+        self._horizon_time = nbuckets * float(bucket_width)
+        # Active run (the loaded, sorted bucket) in one of two forms:
+        # a reversed tuple list (scalar) or columnar arrays (bulk).
+        self._run: list[tuple] = []
+        self._run_max = -math.inf
+        self._overlay: list[tuple] = []
+        self._crun_time: Optional[np.ndarray] = None
+        self._crun_prio: Optional[np.ndarray] = None
+        self._crun_seq: Optional[np.ndarray] = None
+        self._crun_slots: Optional[np.ndarray] = None
+        self._crun_pos = 0
+        # Overflow area beyond the bucketed horizon.
+        self._overflow_tuples: list[tuple] = []
+        self._overflow_chunks: list[np.ndarray] = []
+        self._len = 0
+        self._split_threshold = int(split_threshold)
+        self._widen_floor = max(4, split_threshold // 1024)
+        self._occ_ewma = 0.0
+        self._loads = 0
+        self._resizes = 0
+        self._grows = 0
+        self._slot_hits = 0
+        self._slot_misses = 0
+        self._bulk_payloads_used = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayEventCore pending={self._len} width={self._width:g} "
+            f"buckets={len(self._buckets)} capacity={self._time.shape[0]}>"
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Current slot capacity of the structured-array store."""
+        return int(self._time.shape[0])
+
+    @property
+    def bucket_width(self) -> float:
+        """Current calendar bucket width (self-tuned)."""
+        return self._width
+
+    def stats(self) -> dict:
+        """Counters: calendar resizes, slot reuse, growth, occupancy."""
+        allocs = self._slot_hits + self._slot_misses
+        return {
+            "backend": "array",
+            "pending": self._len,
+            "capacity": self.capacity,
+            "bucket_width": self._width,
+            "buckets": len(self._buckets),
+            "overflow": len(self._overflow_tuples)
+            + sum(int(c.shape[0]) for c in self._overflow_chunks),
+            "bucket_resizes": self._resizes,
+            "array_grows": self._grows,
+            "slot_reuse_hits": self._slot_hits,
+            "slot_reuse_misses": self._slot_misses,
+            "slot_reuse_hit_rate": self._slot_hits / allocs if allocs else 0.0,
+        }
+
+    def empty_message(self, now: float) -> str:
+        """Describe the pending-set state for :class:`EmptySchedule`."""
+        return (
+            f"event core is empty: 0 pending events at now={now} "
+            f"(backend=array, bucket_width={self._width:g}, "
+            f"capacity={self.capacity}, bucket_resizes={self._resizes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar lane
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, prio: int, seq: int, payload: Any) -> None:
+        """Add one pending event at ``time``.
+
+        Hot path: one key-tuple append into the calendar.  Events at or
+        before the loaded run's horizon (``time <= run_max``) go to the
+        overlay heap so insert-during-drain keeps the exact
+        ``(time, prio, seq)`` order without re-sorting the run; tiny
+        pending sets (``<= _SMALL_HEAP_MAX``) go there too, because at
+        that size a binary heap beats bucket bookkeeping and :meth:`pop`
+        merges the overlay against the calendar exactly either way.
+        """
+        if time != time:  # NaN has no place in a total order
+            raise ValueError("cannot schedule an event at time NaN")
+        self._len += 1
+        entry = (time, prio, seq, payload)
+        if time <= self._run_max or self._len <= self._SMALL_HEAP_MAX:
+            heappush(self._overlay, entry)
+            return
+        if time >= self._horizon_time:
+            self._overflow_tuples.append(entry)
+            return
+        bid = math.floor(time * self._inv_width)
+        bucket = self._buckets.get(bid)
+        if bucket is None:
+            self._buckets[bid] = [entry]
+            heappush(self._idheap, bid)
+        else:
+            bucket.append(entry)
+
+    def pop(self) -> tuple:
+        """Remove and return the next ``(time, prio, seq, payload)``.
+
+        Raises ``IndexError`` when empty.
+        """
+        run = self._run
+        if run:
+            overlay = self._overlay
+            if overlay and overlay[0] < run[-1]:
+                self._len -= 1
+                return heappop(overlay)
+            self._len -= 1
+            return run.pop()
+        overlay = self._overlay
+        if overlay and not self._idheap and self._crun_slots is None:
+            # Small-N heap mode: the overlay is the whole pending set
+            # (bar overflow, which is checked in the slow path).
+            if not self._overflow_tuples and not self._overflow_chunks:
+                self._len -= 1
+                return heappop(overlay)
+        return self._pop_slow()
+
+    def _pop_slow(self) -> tuple:
+        """Pop when the tuple run is empty: columnar run, calendar, overlay.
+
+        Overlay entries are not assumed to precede bucketed ones (the
+        small-N heap mode puts arbitrary times there): whenever the
+        calendar still holds events, the next bucket is loaded and
+        :meth:`pop` head-merges it against the overlay, which is exact
+        tuple comparison — no float bucket-boundary reasoning.
+        """
+        if self._crun_slots is not None:
+            self._materialize_crun()
+            return self.pop()
+        if self._idheap or self._overflow_tuples or self._overflow_chunks:
+            self._advance()
+            return self.pop()
+        if self._overlay:
+            self._len -= 1
+            return heappop(self._overlay)
+        raise IndexError("pop from an empty ArrayEventCore")
+
+    def peek_time(self) -> float:
+        """Time of the next event, or ``inf`` when empty.
+
+        May load the next bucket (idempotent; does not change firing
+        order) so the answer is exact rather than a bucket bound.
+        """
+        if self._len == 0:
+            return math.inf
+        while (
+            not self._run
+            and self._crun_slots is None
+            and (self._idheap or self._overflow_tuples or self._overflow_chunks)
+        ):
+            self._advance()
+        candidates = []
+        if self._run:
+            candidates.append(self._run[-1][0])
+        elif self._crun_slots is not None:
+            candidates.append(float(self._crun_time[self._crun_pos]))
+        if self._overlay:
+            candidates.append(self._overlay[0][0])
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    # Bulk lane
+    # ------------------------------------------------------------------
+    def schedule_many(
+        self,
+        times: np.ndarray,
+        prios,
+        seqs: np.ndarray,
+        kinds=KIND_TIMEOUT,
+        payloads: Optional[list] = None,
+    ) -> np.ndarray:
+        """Vectorized schedule: one slot per event, columns written in bulk.
+
+        ``times``/``seqs`` are arrays; ``prios``/``kinds`` may be arrays
+        or scalars.  Returns the allocated slot ids (the payload
+        indices).  Events are partitioned into calendar buckets in one
+        argsort; events at or before the loaded run fall back to the
+        overlay scalar-wise (rare — bulk callers schedule ahead).
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        n = int(times.shape[0])
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.isnan(times).any():
+            raise ValueError("cannot schedule events at time NaN")
+        seqs = np.ascontiguousarray(seqs, dtype=np.int64)
+        if seqs.shape[0] != n:
+            raise ValueError("times and seqs must have the same length")
+        if payloads is not None and len(payloads) != n:
+            raise ValueError("payloads must match times in length")
+        slots = self._alloc_slots(n)
+        self._time[slots] = times
+        self._prio[slots] = prios
+        self._seq[slots] = seqs
+        self._kind[slots] = kinds
+        if payloads is not None:
+            table = self._payload
+            for slot, payload in zip(slots.tolist(), payloads):
+                table[slot] = payload
+            self._bulk_payloads_used = True
+        self._len += n
+
+        near = times <= self._run_max
+        if near.any():
+            self._spill_to_overlay(slots[near])
+            keep = ~near
+            slots_left, times_left = slots[keep], times[keep]
+        else:
+            slots_left, times_left = slots, times
+        if slots_left.shape[0]:
+            far = times_left >= self._horizon_time
+            if far.any():
+                self._overflow_chunks.append(slots_left[far].copy())
+                keep = ~far
+                slots_left, times_left = slots_left[keep], times_left[keep]
+        if slots_left.shape[0]:
+            self._bucket_chunk(slots_left, times_left)
+        return slots
+
+    def pop_many(
+        self, max_n: int, with_payloads: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, Optional[list]]:
+        """Drain up to ``max_n`` events in firing order, columnar when possible.
+
+        Returns ``(times, slots, payloads)``; ``payloads`` is ``None``
+        unless requested.  When the active run is a pure bulk bucket and
+        the overlay is empty the result is two array slices (no
+        per-event Python work); otherwise it falls back to scalar pops
+        (scalar-lane events report slot ``-1``).  Popped slots are
+        returned to the free list before this call returns — callers
+        must copy anything they need beyond the returned arrays.
+        """
+        payloads: Optional[list] = [] if with_payloads else None
+        if max_n <= 0 or self._len == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty.astype(np.float64), empty, payloads
+        t_parts: list[np.ndarray] = []
+        s_parts: list[np.ndarray] = []
+        remaining = min(max_n, self._len)
+        while remaining and self._len:
+            if (
+                self._crun_slots is None
+                and not self._run
+                and not self._overlay
+            ):
+                self._advance()
+            if (
+                self._crun_slots is not None
+                and not self._overlay
+                and not self._run
+            ):
+                pos = self._crun_pos
+                k = min(remaining, self._crun_slots.shape[0] - pos)
+                out_times = self._crun_time[pos : pos + k].copy()
+                out_slots = self._crun_slots[pos : pos + k].copy()
+                if with_payloads:
+                    table = self._payload
+                    payloads.extend(table[s] for s in out_slots.tolist())
+                self._release_slots(out_slots)
+                self._crun_pos = pos + k
+                self._len -= k
+                if self._crun_pos == self._crun_slots.shape[0]:
+                    self._clear_crun()
+                t_parts.append(out_times)
+                s_parts.append(out_slots)
+                remaining -= k
+                continue
+            # Mixed path: exact order via scalar pops until the tuple
+            # run / overlay drain (then back to columnar buckets).
+            times_list: list[float] = []
+            slots_list: list[int] = []
+            while remaining and (self._run or self._overlay):
+                _entry = self.pop()
+                times_list.append(_entry[0])
+                slots_list.append(-1)
+                if with_payloads:
+                    payloads.append(_entry[3])
+                remaining -= 1
+            t_parts.append(np.asarray(times_list, dtype=np.float64))
+            s_parts.append(np.asarray(slots_list, dtype=np.int64))
+        if len(t_parts) == 1:
+            return t_parts[0], s_parts[0], payloads
+        return np.concatenate(t_parts), np.concatenate(s_parts), payloads
+
+    def drain(self) -> Iterator[tuple]:
+        """Iterate ``(time, prio, seq, payload)`` until the core is empty."""
+        while self._len:
+            yield self.pop()
+
+    # ------------------------------------------------------------------
+    # Slot store
+    # ------------------------------------------------------------------
+    def _alloc_slots(self, n: int) -> np.ndarray:
+        """Take ``n`` slots: recycled first (free-list hits), then fresh."""
+        slots = np.empty(n, dtype=np.int64)
+        top = self._free_top
+        take = top if top < n else n
+        if take:
+            slots[:take] = self._free[top - take : top]
+            self._free_top = top - take
+            self._slot_hits += take
+        fresh = n - take
+        if fresh:
+            while self._next_fresh + fresh > self._time.shape[0]:
+                self._grow()
+            start = self._next_fresh
+            slots[take:] = np.arange(start, start + fresh, dtype=np.int64)
+            self._next_fresh = start + fresh
+            self._slot_misses += fresh
+        return slots
+
+    def _release_slots(self, slots: np.ndarray) -> None:
+        """Return slots to the free list (clearing payload refs if used)."""
+        n = slots.shape[0]
+        if self._bulk_payloads_used:
+            table = self._payload
+            for s in slots.tolist():
+                table[s] = None
+        top = self._free_top
+        self._free[top : top + n] = slots
+        self._free_top = top + n
+
+    def _grow(self) -> None:
+        """Double the slot store (geometric growth)."""
+        old = self._time.shape[0]
+        new = old * 2
+        store = np.zeros(new, EVENT_DTYPE)
+        store["time"][:old] = self._time
+        store["prio"][:old] = self._prio
+        store["seq"][:old] = self._seq
+        store["kind"][:old] = self._kind
+        self._time = store["time"]
+        self._prio = store["prio"]
+        self._seq = store["seq"]
+        self._kind = store["kind"]
+        self._payload.extend([None] * (new - old))
+        free = np.empty(new, dtype=np.int64)
+        free[: self._free_top] = self._free[: self._free_top]
+        self._free = free
+        self._grows += 1
+
+    # ------------------------------------------------------------------
+    # Calendar internals
+    # ------------------------------------------------------------------
+    def _bucket_chunk(self, slots: np.ndarray, times: np.ndarray) -> None:
+        """Distribute a bulk chunk over calendar buckets (vectorized)."""
+        bids = np.floor(times * self._inv_width).astype(np.int64)
+        first = int(bids[0])
+        if bids.shape[0] == 1 or (bids == first).all():
+            self._append_chunk(first, slots)
+            return
+        order = np.argsort(bids, kind="stable")
+        bids = bids[order]
+        slots = slots[order]
+        uniq, starts = np.unique(bids, return_index=True)
+        bounds = np.append(starts, bids.shape[0])
+        for i, bid in enumerate(uniq.tolist()):
+            self._append_chunk(bid, slots[bounds[i] : bounds[i + 1]])
+
+    def _append_chunk(self, bid: int, slots: np.ndarray) -> None:
+        bucket = self._buckets.get(bid)
+        if bucket is None:
+            self._buckets[bid] = [slots]
+            heappush(self._idheap, bid)
+        else:
+            bucket.append(slots)
+
+    def _spill_to_overlay(self, slots: np.ndarray) -> None:
+        """Move bulk-scheduled events into the overlay heap (near inserts)."""
+        table = self._payload
+        slot_list = slots.tolist()
+        entries = zip(
+            self._time[slots].tolist(),
+            self._prio[slots].tolist(),
+            self._seq[slots].tolist(),
+            [table[s] for s in slot_list],
+        )
+        overlay = self._overlay
+        for entry in entries:
+            heappush(overlay, entry)
+        self._release_slots(slots)
+
+    def _advance(self) -> None:
+        """Load the next non-empty bucket as the active run.
+
+        Raises ``IndexError`` when the core is truly empty.
+        """
+        while True:
+            idheap = self._idheap
+            if idheap:
+                bid = heappop(idheap)
+                bucket = self._buckets.pop(bid)
+                if self._maybe_split(bid, bucket):
+                    continue
+                self._load(bucket)
+                return
+            if self._overflow_tuples or self._overflow_chunks:
+                self._rebucket_overflow()
+                if self._run:
+                    # Nothing bucketable remained (inf-only times): the
+                    # overflow became the run directly.
+                    return
+                continue
+            raise IndexError("pop from an empty ArrayEventCore")
+
+    def _load(self, bucket: list) -> None:
+        """Sort one bucket into the active run (lazy intra-bucket sort)."""
+        self._loads += 1
+        n_entries = 0
+        if len(bucket) > 1 or type(bucket[0]) is tuple:
+            tuples = []
+            chunks = []
+            for e in bucket:
+                if type(e) is tuple:
+                    tuples.append(e)
+                else:
+                    chunks.append(e)
+            if chunks:
+                tuples.extend(self._chunk_tuples(chunks))
+            tuples.sort(reverse=True)
+            self._run = tuples
+            self._run_max = tuples[0][0]
+            n_entries = len(tuples)
+        else:
+            # Pure bulk bucket: keep it columnar so pop_many stays
+            # vectorized end to end.
+            slots = bucket[0]
+            t = self._time[slots]
+            p = self._prio[slots]
+            s = self._seq[slots]
+            order = np.lexsort((s, p, t))
+            self._crun_time = t[order]
+            self._crun_prio = p[order]
+            self._crun_seq = s[order]
+            self._crun_slots = slots[order]
+            self._crun_pos = 0
+            self._run_max = float(self._crun_time[-1])
+            n_entries = int(slots.shape[0])
+        self._occ_ewma += 0.125 * (n_entries - self._occ_ewma)
+        if self._loads % self._WIDEN_CHECK_EVERY == 0:
+            self._maybe_widen()
+
+    def _chunk_tuples(self, chunks: list[np.ndarray]) -> list[tuple]:
+        """Materialize bulk chunks as key tuples, releasing their slots."""
+        slots = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        table = self._payload
+        payloads = [table[s] for s in slots.tolist()]
+        out = list(
+            zip(
+                self._time[slots].tolist(),
+                self._prio[slots].tolist(),
+                self._seq[slots].tolist(),
+                payloads,
+            )
+        )
+        self._release_slots(slots)
+        return out
+
+    def _materialize_crun(self) -> None:
+        """Convert the columnar run's remainder into a tuple run."""
+        pos = self._crun_pos
+        slots = self._crun_slots[pos:]
+        table = self._payload
+        payloads = [table[s] for s in slots.tolist()]
+        run = list(
+            zip(
+                self._crun_time[pos:].tolist(),
+                self._crun_prio[pos:].tolist(),
+                self._crun_seq[pos:].tolist(),
+                payloads,
+            )
+        )
+        self._release_slots(slots)
+        run.reverse()
+        self._run = run
+        self._clear_crun()
+
+    def _clear_crun(self) -> None:
+        self._crun_time = None
+        self._crun_prio = None
+        self._crun_seq = None
+        self._crun_slots = None
+        self._crun_pos = 0
+
+    # -- width adaptation ----------------------------------------------
+    def _maybe_split(self, bid: int, bucket: list) -> bool:
+        """Shrink the width when a bucket's scalar population is too big.
+
+        Returns True when a re-bucket happened (the caller re-advances).
+        Pure bulk buckets never trigger a split: their sort is
+        vectorized, so size costs nothing per event.
+        """
+        n_tuples = 0
+        for e in bucket:
+            if type(e) is tuple:
+                n_tuples += 1
+                if n_tuples > self._split_threshold:
+                    break
+        if n_tuples <= self._split_threshold:
+            return False
+        times = [e[0] for e in bucket if type(e) is tuple]
+        span = max(times) - min(times)
+        if span <= 0.0:
+            return False  # same-instant mass: no width can split it
+        target = max(self._widen_floor * 4, self._split_threshold // 8)
+        new_width = span / max(1, len(times) // target)
+        return self._rebucket(new_width, extra=bucket)
+
+    def _maybe_widen(self) -> None:
+        """Grow the width when buckets are chronically near-empty."""
+        if self._occ_ewma >= self._widen_floor:
+            return
+        if len(self._buckets) < self._WIDEN_CHECK_EVERY:
+            return  # not enough future structure to justify a rebuild
+        self._rebucket(self._width * 8.0)
+
+    def _rebucket(self, new_width: float, extra: Optional[list] = None) -> bool:
+        """Re-key every future bucket (and overflow) under ``new_width``."""
+        if not (new_width > 0.0 and math.isfinite(new_width)):
+            return False
+        entries: list[tuple] = list(self._overflow_tuples)
+        if self._overflow_chunks:
+            entries.extend(self._chunk_tuples(self._overflow_chunks))
+            # _chunk_tuples re-counts nothing; chunks simply change form.
+        chunks: list[np.ndarray] = []
+        buckets_snapshot = list(self._buckets.values())
+        if extra is not None:
+            buckets_snapshot.append(extra)
+        for bucket in buckets_snapshot:
+            for e in bucket:
+                if type(e) is tuple:
+                    entries.append(e)
+                else:
+                    chunks.append(e)
+        if chunks:
+            entries.extend(self._chunk_tuples(chunks))
+        self._buckets.clear()
+        self._idheap.clear()
+        self._overflow_tuples = []
+        self._overflow_chunks = []
+        self._width = float(new_width)
+        self._inv_width = 1.0 / float(new_width)
+        finite_min = None
+        for e in entries:
+            if math.isfinite(e[0]):
+                finite_min = e[0] if finite_min is None else min(finite_min, e[0])
+        if finite_min is None:
+            # Only non-finite times remain: park them in overflow and
+            # let _rebucket_overflow serve them as a direct run.
+            self._overflow_tuples = entries
+            self._horizon_time = math.inf
+            self._resizes += 1
+            return True
+        base = math.floor(finite_min * self._inv_width)
+        self._horizon_base = base
+        self._horizon_time = (base + self._nbuckets) * self._width
+        buckets = self._buckets
+        idheap = self._idheap
+        inv = self._inv_width
+        horizon_time = self._horizon_time
+        overflow = self._overflow_tuples
+        for e in entries:
+            t = e[0]
+            if t >= horizon_time:
+                overflow.append(e)
+                continue
+            bid = math.floor(t * inv)
+            b = buckets.get(bid)
+            if b is None:
+                buckets[bid] = [e]
+                heappush(idheap, bid)
+            else:
+                b.append(e)
+        self._resizes += 1
+        return True
+
+    def _rebucket_overflow(self) -> None:
+        """Bring the overflow area into the calendar once the clock reaches it."""
+        entries: list[tuple] = self._overflow_tuples
+        if self._overflow_chunks:
+            entries = entries + self._chunk_tuples(self._overflow_chunks)
+        self._overflow_tuples = []
+        self._overflow_chunks = []
+        finite = [e for e in entries if math.isfinite(e[0])]
+        if not finite:
+            # Nothing left but inf-time events: serve them directly.
+            entries.sort(reverse=True)
+            self._run = entries
+            self._run_max = math.inf
+            return
+        # Fresh width estimate from the overflow population density, so
+        # a long-idle calendar lands on a sane width in one step.
+        lo = min(e[0] for e in finite)
+        hi = max(e[0] for e in finite)
+        span = hi - lo
+        if span > 0.0 and len(finite) >= self._widen_floor * 4:
+            target = max(self._widen_floor * 4, self._split_threshold // 8)
+            width = span / max(1, len(finite) // target)
+        else:
+            width = self._width
+        self._width = float(width)
+        self._inv_width = 1.0 / float(width)
+        base = math.floor(lo * self._inv_width)
+        self._horizon_base = base
+        self._horizon_time = (base + self._nbuckets) * self._width
+        self._resizes += 1
+        buckets = self._buckets
+        idheap = self._idheap
+        inv = self._inv_width
+        horizon_time = self._horizon_time
+        overflow = self._overflow_tuples
+        for e in entries:
+            t = e[0]
+            if t >= horizon_time:
+                overflow.append(e)
+                continue
+            bid = math.floor(t * inv)
+            b = buckets.get(bid)
+            if b is None:
+                buckets[bid] = [e]
+                heappush(idheap, bid)
+            else:
+                b.append(e)

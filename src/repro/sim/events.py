@@ -20,18 +20,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
+from repro.sim.eventcore import NORMAL, URGENT  # noqa: F401  (re-exported)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.core import Environment
 
 #: Sentinel for "this event has not been given a value yet".
 PENDING = object()
-
-#: Scheduling priorities (re-exported by :mod:`repro.sim.core`).  URGENT is
-#: used for already-triggered events (succeed/fail/interrupt) so they run
-#: before timeouts scheduled for the same instant; NORMAL is used for
-#: timeouts.
-URGENT = 0
-NORMAL = 1
 
 
 class StopSimulation(Exception):

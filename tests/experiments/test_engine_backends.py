@@ -1,0 +1,82 @@
+"""Full-cell trace equality between the heap and array event cores.
+
+The strongest statement of determinism guarantee #7: complete experiment
+cells (E2 tail-vs-load and the X6 chaos matrix), run end to end under
+``REPRO_ENGINE=heap`` and ``REPRO_ENGINE=array``, must produce identical
+summaries, metrics snapshots, and request traces — with pooled timeouts
+on *and* off — and the parallel engine must stay cell-identical with the
+array backend as the default.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.parallel import run_scenario_parallel
+from repro.experiments.runner import run_cell, run_scenario
+from repro.experiments.scenarios import get_scenario
+from repro.sim.core import Environment
+
+SCALE = 0.05
+
+
+def _cell_payload(cell):
+    """Everything a cell reports except wall-clock time."""
+    return {
+        "summary": dataclasses.asdict(cell.summary),
+        "mean_slowdown": cell.mean_slowdown,
+        "p99_slowdown": cell.p99_slowdown,
+        "utilization": cell.utilization,
+        "requests": cell.requests,
+        "metrics": cell.metrics,
+        "traces": cell.traces,
+        "prometheus": cell.prometheus,
+    }
+
+
+def _run_one_cell(monkeypatch, engine, experiment_id, pooled):
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    if not pooled:
+        monkeypatch.setattr(Environment, "pooled_timeout", Environment.timeout)
+    scenario = get_scenario(experiment_id, scale=SCALE)
+    cell = run_cell(scenario.points[0], scenario.schedulers[-1])
+    return _cell_payload(cell)
+
+
+@pytest.mark.parametrize("experiment_id", ["E2", "X6"])
+@pytest.mark.parametrize("pooled", [True, False], ids=["pooled", "unpooled"])
+def test_full_cell_trace_identical_across_backends(
+    monkeypatch, experiment_id, pooled
+):
+    heap = _run_one_cell(monkeypatch, "heap", experiment_id, pooled)
+    array = _run_one_cell(monkeypatch, "array", experiment_id, pooled)
+    assert array == heap
+
+
+def _tiny_e2():
+    scenario = get_scenario("E2", scale=SCALE)
+    return dataclasses.replace(
+        scenario,
+        points=scenario.points[:2],
+        schedulers=scenario.schedulers[-2:],
+    )
+
+
+def test_parallel_cells_identical_with_array_default(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    scenario = _tiny_e2()
+    sequential = run_scenario(scenario)
+    parallel = run_scenario_parallel(scenario, workers=2)
+    assert set(parallel.cells) == set(sequential.cells)
+    for key, seq_cell in sequential.cells.items():
+        assert _cell_payload(parallel.cells[key]) == _cell_payload(seq_cell)
+
+
+def test_parallel_heap_matches_parallel_array(monkeypatch):
+    scenario = _tiny_e2()
+    monkeypatch.setenv("REPRO_ENGINE", "heap")
+    heap = run_scenario_parallel(scenario, workers=2)
+    monkeypatch.setenv("REPRO_ENGINE", "array")
+    array = run_scenario_parallel(_tiny_e2(), workers=2)
+    for key, heap_cell in heap.cells.items():
+        assert _cell_payload(array.cells[key]) == _cell_payload(heap_cell)

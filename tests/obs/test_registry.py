@@ -154,3 +154,31 @@ class TestPrometheusExport:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestEngineGauges:
+    def test_register_engine_gauges_reads_event_core(self):
+        from repro.obs import register_engine_gauges
+        from repro.sim import Environment
+
+        env = Environment(engine="array")
+        env.timeout(1.0)
+        reg = MetricsRegistry()
+        register_engine_gauges(reg, env)
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["sim_now"] == 0.0
+        assert gauges['sim_pending_events{engine="array"}'] == 1.0
+        assert 'sim_bucket_resizes_total{engine="array"}' in gauges
+        env.run()
+        assert reg.snapshot()["gauges"]["sim_now"] == 1.0
+        assert reg.snapshot()["gauges"]['sim_pending_events{engine="array"}'] == 0.0
+
+    def test_engine_gauges_cover_heap_backend_too(self):
+        from repro.obs import register_engine_gauges
+        from repro.sim import Environment
+
+        env = Environment(engine="heap")
+        reg = MetricsRegistry()
+        register_engine_gauges(reg, env)
+        gauges = reg.snapshot()["gauges"]
+        assert gauges['sim_slot_reuse_hit_rate{engine="heap"}'] == 0.0

@@ -1,0 +1,410 @@
+"""Event-core backends: unit tests plus heap/array order-identity properties.
+
+The calendar-queue :class:`ArrayEventCore` must fire events in exactly
+the heap's ``(time, priority, seq)`` total order — determinism guarantee
+#7 in ``docs/benchmarking.md``.  The properties here drive both cores
+with identical random schedules (including interleaved cancellations at
+the :class:`Environment` level) and require identical firing logs; the
+unit tests pin the array core's mechanics (overflow, width adaptation,
+slot reuse, bulk lanes).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Interrupt
+from repro.sim.core import EmptySchedule
+from repro.sim.eventcore import (
+    NORMAL,
+    URGENT,
+    ArrayEventCore,
+    HeapEventCore,
+    make_event_core,
+    resolve_engine,
+)
+
+
+def drain(core):
+    out = []
+    while len(core):
+        out.append(core.pop())
+    return out
+
+
+class TestResolveEngine:
+    def test_default_is_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "array"
+        assert isinstance(make_event_core(), ArrayEventCore)
+
+    def test_env_var_selects_heap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert resolve_engine() == "heap"
+        assert isinstance(make_event_core(), HeapEventCore)
+        assert Environment().engine == "heap"
+
+    def test_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert resolve_engine("array") == "array"
+        assert Environment(engine="array").engine == "array"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown event-core engine"):
+            resolve_engine("btree")
+        monkeypatch.setenv("REPRO_ENGINE", "btree")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            Environment()
+
+
+class TestArrayCoreBasics:
+    def test_fifo_within_same_time_and_priority(self):
+        core = ArrayEventCore()
+        for seq in range(10):
+            core.schedule(1.0, NORMAL, seq, f"p{seq}")
+        assert [e[2] for e in drain(core)] == list(range(10))
+
+    def test_priority_beats_seq_at_same_time(self):
+        core = ArrayEventCore()
+        core.schedule(1.0, NORMAL, 0, "normal")
+        core.schedule(1.0, URGENT, 1, "urgent")
+        assert [e[3] for e in drain(core)] == ["urgent", "normal"]
+
+    def test_total_order_matches_heap_on_random_input(self):
+        rng = np.random.default_rng(7)
+        heap, array = HeapEventCore(), ArrayEventCore(bucket_width=0.25)
+        for seq in range(5000):
+            t = float(rng.choice([0.0, rng.random() * 50, rng.integers(0, 8)]))
+            prio = int(rng.integers(0, 2))
+            heap.schedule(t, prio, seq, seq)
+            array.schedule(t, prio, seq, seq)
+        assert drain(array) == drain(heap)
+
+    def test_pop_empty_raises_indexerror(self):
+        with pytest.raises(IndexError):
+            ArrayEventCore().pop()
+
+    def test_peek_time(self):
+        core = ArrayEventCore()
+        assert core.peek_time() == math.inf
+        core.schedule(3.0, NORMAL, 0, None)
+        core.schedule(1.5, NORMAL, 1, None)
+        assert core.peek_time() == 1.5
+        core.pop()
+        assert core.peek_time() == 3.0
+
+    def test_nan_time_rejected(self):
+        core = ArrayEventCore()
+        with pytest.raises(ValueError, match="NaN"):
+            core.schedule(float("nan"), NORMAL, 0, None)
+        with pytest.raises(ValueError, match="NaN"):
+            core.schedule_many(
+                np.array([1.0, float("nan")]), NORMAL, np.array([0, 1])
+            )
+
+    def test_inf_time_served_last(self):
+        core = ArrayEventCore()
+        core.schedule(math.inf, NORMAL, 0, "end")
+        core.schedule(2.0, NORMAL, 1, "mid")
+        fired = drain(core)
+        assert [e[3] for e in fired] == ["mid", "end"]
+
+    def test_insert_during_drain_keeps_order(self):
+        # Events landing at-or-before the loaded bucket go through the
+        # overlay heap; they must interleave exactly as the heap would.
+        heap = HeapEventCore()
+        array = ArrayEventCore(bucket_width=10.0)
+        for core in (heap, array):
+            for seq in range(100):
+                core.schedule(float(seq % 10), NORMAL, seq, None)
+        fired_h = [heap.pop() for _ in range(5)]
+        fired_a = [array.pop() for _ in range(5)]
+        now = fired_a[-1][0]
+        for core in (heap, array):
+            core.schedule(now, URGENT, 1000, "urgent-now")
+            core.schedule(now + 0.5, NORMAL, 1001, None)
+        assert fired_a + drain(array) == fired_h + drain(heap)
+
+    def test_empty_message_names_state(self):
+        core = ArrayEventCore()
+        msg = core.empty_message(12.5)
+        assert "0 pending events" in msg and "backend=array" in msg
+
+    def test_repr_and_stats_schema(self):
+        core = ArrayEventCore()
+        core.schedule(1.0, NORMAL, 0, None)
+        assert "pending=1" in repr(core)
+        stats = core.stats()
+        for key in (
+            "backend",
+            "pending",
+            "bucket_resizes",
+            "slot_reuse_hits",
+            "slot_reuse_misses",
+            "slot_reuse_hit_rate",
+        ):
+            assert key in stats
+        assert stats["backend"] == "array"
+        assert HeapEventCore().stats()["backend"] == "heap"
+
+
+class TestCalendarAdaptation:
+    def test_overflow_beyond_horizon_rebucketed_in_order(self):
+        core = ArrayEventCore(bucket_width=1.0, nbuckets=4)
+        # Enough near events to leave the small-N heap mode, then events
+        # far past the 4-bucket horizon.
+        times = [i * 0.05 for i in range(80)] + [10.0, 100.0, 1000.0, 40.0]
+        for seq, t in enumerate(times):
+            core.schedule(t, NORMAL, seq, None)
+        assert core.stats()["overflow"] > 0
+        fired = [e[0] for e in drain(core)]
+        assert fired == sorted(times)
+        assert core.stats()["bucket_resizes"] >= 1
+
+    def test_oversized_bucket_triggers_width_shrink(self):
+        core = ArrayEventCore(bucket_width=1000.0, split_threshold=64)
+        rng = np.random.default_rng(3)
+        times = rng.random(500) * 900.0
+        for seq, t in enumerate(times.tolist()):
+            core.schedule(t, NORMAL, seq, None)
+        fired = [e[0] for e in drain(core)]
+        assert fired == sorted(times.tolist())
+        assert core.stats()["bucket_resizes"] >= 1
+        assert core.bucket_width < 1000.0
+
+    def test_same_instant_mass_does_not_split(self):
+        core = ArrayEventCore(bucket_width=1000.0, split_threshold=64)
+        for seq in range(500):
+            core.schedule(5.0, NORMAL, seq, seq)
+        assert [e[3] for e in drain(core)] == list(range(500))
+        assert core.stats()["bucket_resizes"] == 0
+
+    def test_sparse_buckets_trigger_widen(self):
+        core = ArrayEventCore(bucket_width=1e-6)
+        n = 600
+        for seq in range(n):
+            core.schedule(float(seq), NORMAL, seq, None)
+        fired = [e[0] for e in drain(core)]
+        assert fired == [float(s) for s in range(n)]
+        assert core.stats()["bucket_resizes"] >= 1
+        assert core.bucket_width > 1e-6
+
+
+class TestBulkLane:
+    def test_schedule_many_pop_many_roundtrip(self):
+        core = ArrayEventCore()
+        rng = np.random.default_rng(11)
+        times = rng.random(1000) * 20.0
+        slots = core.schedule_many(times, NORMAL, np.arange(1000))
+        assert slots.shape == (1000,)
+        assert len(core) == 1000
+        out_t, out_slots, payloads = core.pop_many(1000)
+        assert np.array_equal(out_t, np.sort(times))
+        assert out_slots.shape == (1000,)
+        assert payloads is None
+        assert len(core) == 0
+
+    def test_pop_many_partial_batches(self):
+        core = ArrayEventCore()
+        times = np.arange(100, dtype=np.float64) * 0.01
+        core.schedule_many(times, NORMAL, np.arange(100))
+        got = []
+        while len(core):
+            t, _, _ = core.pop_many(17)
+            got.extend(t.tolist())
+        assert got == times.tolist()
+
+    def test_pop_many_with_payloads(self):
+        core = ArrayEventCore()
+        times = np.array([2.0, 1.0, 3.0])
+        core.schedule_many(
+            times, NORMAL, np.arange(3), payloads=["b", "a", "c"]
+        )
+        t, _, payloads = core.pop_many(3, with_payloads=True)
+        assert t.tolist() == [1.0, 2.0, 3.0]
+        assert payloads == ["a", "b", "c"]
+
+    def test_mixed_scalar_and_bulk_order(self):
+        core = ArrayEventCore(bucket_width=0.5)
+        rng = np.random.default_rng(23)
+        bulk_times = rng.random(300) * 10.0
+        core.schedule_many(bulk_times, NORMAL, np.arange(300))
+        scalar_times = (rng.random(300) * 10.0).tolist()
+        for i, t in enumerate(scalar_times):
+            core.schedule(t, NORMAL, 300 + i, f"s{i}")
+        keys = [e[:3] for e in drain(core)]
+        assert keys == sorted(keys)
+
+    def test_slot_reuse_and_growth(self):
+        core = ArrayEventCore(capacity=64)
+        times = np.linspace(0.0, 1.0, 256)
+        core.schedule_many(times, NORMAL, np.arange(256))
+        stats = core.stats()
+        assert stats["capacity"] >= 256
+        assert stats["slot_reuse_misses"] == 256
+        core.pop_many(256)
+        core.schedule_many(times + 2.0, NORMAL, np.arange(256, 512))
+        stats = core.stats()
+        assert stats["slot_reuse_hits"] == 256
+        assert stats["slot_reuse_hit_rate"] == 0.5
+        assert core.stats()["capacity"] == stats["capacity"]  # no regrow
+
+    def test_bulk_near_inserts_fall_back_to_overlay(self):
+        core = ArrayEventCore(bucket_width=10.0)
+        for seq in range(20):
+            core.schedule(float(seq) * 0.1, NORMAL, seq, None)
+        core.pop()  # load the bucket
+        core.schedule_many(
+            np.array([0.05, 5.0]), URGENT, np.array([100, 101])
+        )
+        keys = [e[:3] for e in drain(core)]
+        assert keys == sorted(keys)
+
+
+# Property: both cores fire identical orders under random schedules.
+schedule_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(min_value=0, max_value=1),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestCoreOrderProperty:
+    @given(plan=schedule_strategy, width=st.sampled_from([0.01, 1.0, 250.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_random_schedules_fire_identically(self, plan, width):
+        heap, array = HeapEventCore(), ArrayEventCore(
+            bucket_width=width, nbuckets=16, split_threshold=16
+        )
+        for seq, (t, prio) in enumerate(plan):
+            heap.schedule(t, prio, seq, seq)
+            array.schedule(t, prio, seq, seq)
+        assert drain(array) == drain(heap)
+
+    @given(plan=schedule_strategy, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_pops_fire_identically(self, plan, data):
+        heap, array = HeapEventCore(), ArrayEventCore(
+            bucket_width=5.0, nbuckets=8, split_threshold=16
+        )
+        fired_h, fired_a = [], []
+        now = 0.0
+        for seq, (dt, prio) in enumerate(plan):
+            t = now + dt
+            heap.schedule(t, prio, seq, seq)
+            array.schedule(t, prio, seq, seq)
+            if len(heap) and data.draw(st.booleans()):
+                e_h, e_a = heap.pop(), array.pop()
+                fired_h.append(e_h)
+                fired_a.append(e_a)
+                now = e_h[0]
+        fired_h.extend(drain(heap))
+        fired_a.extend(drain(array))
+        assert fired_a == fired_h
+
+
+def _run_cancellation_plan(engine, worker_delays, cancellations):
+    """One deterministic env run: workers + interleaved interrupts."""
+    env = Environment(engine=engine)
+    log = []
+    procs = []
+
+    def worker(i, delays):
+        try:
+            for d in delays:
+                yield env.timeout(d)
+                log.append(("fired", round(env.now, 9), i))
+        except Interrupt as interrupt:
+            log.append(("interrupted", round(env.now, 9), i, interrupt.cause))
+
+    def canceller(delay, victim):
+        yield env.timeout(delay)
+        if procs[victim].is_alive:
+            procs[victim].interrupt(f"cancel-{victim}")
+            log.append(("cancelled", round(env.now, 9), victim))
+
+    for i, delays in enumerate(worker_delays):
+        procs.append(env.process(worker(i, delays)))
+    for delay, victim in cancellations:
+        env.process(canceller(delay, victim))
+    env.run()
+    return log
+
+
+class TestEnvironmentOrderProperty:
+    @given(
+        worker_delays=st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        cancellations=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedules_with_cancellations_identical(
+        self, worker_delays, cancellations
+    ):
+        cancellations = [
+            (d, v % len(worker_delays)) for d, v in cancellations
+        ]
+        log_heap = _run_cancellation_plan("heap", worker_delays, cancellations)
+        log_array = _run_cancellation_plan("array", worker_delays, cancellations)
+        assert log_array == log_heap
+
+
+class TestEnvironmentFacade:
+    def test_step_on_empty_names_pending_state(self):
+        env = Environment(engine="array")
+        with pytest.raises(EmptySchedule, match="0 pending events"):
+            env.step()
+        env_h = Environment(engine="heap")
+        with pytest.raises(EmptySchedule, match="backend=heap"):
+            env_h.step()
+
+    def test_run_until_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            Environment().run(until=-1.0)
+
+    def test_run_until_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Environment().run(until=float("nan"))
+
+    def test_core_stats_exposed(self):
+        env = Environment(engine="array")
+        env.timeout(1.0)
+        stats = env.core_stats()
+        assert stats["backend"] == "array" and stats["pending"] == 1
+
+    def test_repr_names_engine(self):
+        assert "engine=array" in repr(Environment(engine="array"))
+
+    @pytest.mark.parametrize("engine", ["heap", "array"])
+    def test_run_until_time_identical_semantics(self, engine):
+        env = Environment(engine=engine)
+        log = []
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert log == [1.0, 2.0, 3.0, 4.0]
