@@ -1,0 +1,60 @@
+"""Shared skeleton for the X-family bench modules.
+
+Every extension bench follows the same shape: run the scenario grid at
+the bench ``--scale``, render and persist the table, re-run the grid
+through the parallel engine and require cell-for-cell identity with the
+sequential run (the determinism gate), then assert the experiment's
+acceptance shape — usually on a separate pinned-scale headline pass.
+This module holds the shared pieces; the per-experiment assertions stay
+in the bench modules where their rationale is documented.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from benchmarks.conftest import execute_scenario, report
+
+from repro.experiments.parallel import run_scenario_parallel
+from repro.experiments.runner import ScenarioResult
+
+
+def smoke_grid(
+    benchmark, results_dir: Path, experiment_id: str, scale: Optional[float] = None
+) -> ScenarioResult:
+    """Run one scenario grid at the bench scale and persist its table."""
+    result = execute_scenario(benchmark, experiment_id, scale=scale)
+    report(result, results_dir)
+    return result
+
+
+def assert_cells_identical(result: ScenarioResult, workers: int = 4) -> bool:
+    """Determinism gate: a parallel re-run must match cell for cell.
+
+    Re-runs ``result``'s scenario through the worker-pool engine at the
+    very scale the sequential grid just ran and compares every cell's
+    summary and metrics snapshot.  Returns True (for recording in a JSON
+    artifact) or raises with the offending experiment id.
+    """
+    parallel = run_scenario_parallel(result.scenario, workers=workers)
+    identical = set(parallel.cells) == set(result.cells) and all(
+        parallel.cells[key].summary == result.cells[key].summary
+        and parallel.cells[key].metrics == result.cells[key].metrics
+        for key in result.cells
+    )
+    assert identical, (
+        f"{result.scenario.experiment_id} parallel cells diverged "
+        f"from sequential"
+    )
+    return identical
+
+
+def write_json_artifact(
+    results_dir: Path, name: str, payload: Dict[str, Any]
+) -> Path:
+    """Write one bench's machine-readable record under ``results/``."""
+    out = results_dir / name
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return out

@@ -15,15 +15,15 @@ and 2-8x on p99 at the default bench scale) and stable down to the CI
 smoke scale (0.02), where the scenario sits on its duration floor.
 """
 
-from benchmarks.conftest import execute_scenario, report
+from benchmarks._common import assert_cells_identical, smoke_grid
 
 ADAPTIVE = ("least_estimated_work", "power_of_d", "c3", "tars", "prequal")
 OBLIVIOUS = ("primary", "random")
 
 
 def bench_x3_selection(benchmark, results_dir):
-    result = execute_scenario(benchmark, "X3")
-    report(result, results_dir)
+    result = smoke_grid(benchmark, results_dir, "X3")
+    assert_cells_identical(result)
 
     mean = {x: result.cell(x, "DAS").metric("mean") for x in ADAPTIVE + OBLIVIOUS}
     p99 = {x: result.cell(x, "DAS").metric("p99") for x in ADAPTIVE + OBLIVIOUS}

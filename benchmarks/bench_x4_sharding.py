@@ -18,12 +18,14 @@ are recorded in ``benchmarks/results/X4_sharding.json``.
 """
 
 import dataclasses
-import json
 
 from benchmarks import conftest
-from benchmarks.conftest import execute_scenario, report
+from benchmarks._common import (
+    assert_cells_identical,
+    smoke_grid,
+    write_json_artifact,
+)
 
-from repro.experiments.parallel import run_scenario_parallel
 from repro.experiments.runner import run_scenario
 from repro.experiments.scenarios import get_scenario
 
@@ -44,19 +46,11 @@ def _headline_scenario():
 
 
 def bench_x4_sharding(benchmark, results_dir):
-    result = execute_scenario(benchmark, "X4")
-    report(result, results_dir)
+    result = smoke_grid(benchmark, results_dir, "X4")
 
     # Determinism gate: the laned cells must be byte-identical under the
     # parallel engine at the very scale this bench just ran.
-    scenario = get_scenario("X4", scale=conftest.SCALE)
-    parallel = run_scenario_parallel(scenario, workers=4)
-    cells_identical = set(parallel.cells) == set(result.cells) and all(
-        parallel.cells[key].summary == result.cells[key].summary
-        and parallel.cells[key].metrics == result.cells[key].metrics
-        for key in result.cells
-    )
-    assert cells_identical, "X4 parallel cells diverged from sequential"
+    cells_identical = assert_cells_identical(result)
 
     # Headline shape at pinned full scale: deterministic, so these are
     # exact assertions, not flaky statistics.
@@ -97,8 +91,7 @@ def bench_x4_sharding(benchmark, results_dir):
         "mean_slack": MEAN_SLACK,
         "comparisons": comparisons,
     }
-    out = results_dir / "X4_sharding.json"
-    out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    write_json_artifact(results_dir, "X4_sharding.json", artifact)
     lines = ["X4 headline (scale 1.0, Lanes+DAS vs DAS):"]
     for x, row in comparisons.items():
         lines.append(

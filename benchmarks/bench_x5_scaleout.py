@@ -1,0 +1,133 @@
+"""X5 — extension (ours): fleet-scale selection vs control-plane cost.
+
+Expected shape (asserted on a pinned full-scale headline pass at 256
+servers): the Dodoor-style load cache — d-choices over bounded-stale
+periodic server reports — keeps p99 RCT within a 15% guard band of
+probe-per-request Prequal while sending at least 10x fewer control-plane
+messages per request, and beats blind power-of-d on p99 outright.  The
+asymmetry is structural: Prequal pays two probe round-trips (four
+messages) per request, so its control cost scales with the request rate;
+Dodoor pays one broadcast per server per refresh interval, so its cost
+scales with fleet size over interval and *amortizes* as traffic grows.
+A refresh-interval sweep at 256 servers traces the freshness-vs-overhead
+curve.
+
+The grid itself (128/256/512 servers x four adaptive policies plus the
+interval sweep) runs at the bench ``--scale`` like every other module,
+gated by the parallel-engine determinism check.  Both the gate and the
+headline numbers land in ``benchmarks/results/X5_scaleout.json``.
+"""
+
+import dataclasses
+
+from benchmarks._common import (
+    assert_cells_identical,
+    smoke_grid,
+    write_json_artifact,
+)
+from benchmarks import conftest
+
+from repro.experiments.scenarios import get_scenario
+from repro.kvstore.cluster import Cluster
+
+#: Scale of the pinned headline comparison (12 000 requests per cell).
+HEADLINE_SCALE = 1.0
+#: Fleet size the acceptance numbers are measured at.
+HEADLINE_FLEET = 256
+#: Dodoor must send at least this many times fewer control messages
+#: per request than prequal.
+MESSAGE_RATIO_FLOOR = 10.0
+#: ... while staying within this relative p99 guard band of prequal.
+P99_GUARD = 1.15
+
+
+def _run_cell(point) -> dict:
+    """One direct cluster run with control-plane accounting attached."""
+    config = dataclasses.replace(
+        point.config, scheduler="das", scheduler_params={}
+    )
+    cluster = Cluster(config)
+    result = cluster.run(point.sim)
+    summary = result.summary()
+    per_client = cluster.selection_stats().values()
+    messages = sum(s["control_plane"]["messages_total"] for s in per_client)
+    payload_bytes = sum(
+        sum(s["control_plane"]["bytes_sent"].values()) for s in per_client
+    )
+    return {
+        "requests": result.requests_completed,
+        "control_messages": messages,
+        "messages_per_request": messages / result.requests_completed,
+        "control_bytes": payload_bytes,
+        "mean": summary.mean,
+        "p99": summary.p99,
+        "p999": summary.p999,
+    }
+
+
+def bench_x5_scaleout(benchmark, results_dir):
+    result = smoke_grid(benchmark, results_dir, "X5")
+    cells_identical = assert_cells_identical(result)
+
+    # Headline at pinned full scale: deterministic, so exact assertions.
+    scenario = get_scenario("X5", scale=HEADLINE_SCALE)
+    headline = {}
+    for selection in ("prequal", "power_of_d", "dodoor"):
+        point = next(
+            p for p in scenario.points
+            if p.x == f"{HEADLINE_FLEET}s/{selection}"
+        )
+        headline[selection] = _run_cell(point)
+    sweep = {
+        point.x.split("/", 1)[1]: _run_cell(point)
+        for point in scenario.points
+        if point.x.startswith(f"{HEADLINE_FLEET}s/dodoor@")
+    }
+
+    dodoor, prequal = headline["dodoor"], headline["prequal"]
+    message_ratio = (
+        prequal["messages_per_request"] / dodoor["messages_per_request"]
+    )
+    assert message_ratio >= MESSAGE_RATIO_FLOOR, (
+        f"dodoor sends only {message_ratio:.1f}x fewer control messages "
+        f"per request than prequal (floor {MESSAGE_RATIO_FLOOR:.0f}x) at "
+        f"{HEADLINE_FLEET} servers"
+    )
+    assert dodoor["p99"] <= prequal["p99"] * P99_GUARD, (
+        f"dodoor p99 {dodoor['p99']:.6f}s outside the {P99_GUARD:.0%} "
+        f"guard band of prequal {prequal['p99']:.6f}s"
+    )
+    assert dodoor["p99"] < headline["power_of_d"]["p99"], (
+        f"dodoor p99 {dodoor['p99']:.6f}s not below blind power-of-d "
+        f"{headline['power_of_d']['p99']:.6f}s"
+    )
+
+    artifact = {
+        "grid_scale": conftest.SCALE,
+        "headline_scale": HEADLINE_SCALE,
+        "headline_fleet": HEADLINE_FLEET,
+        "cells_identical": cells_identical,
+        "message_ratio_floor": MESSAGE_RATIO_FLOOR,
+        "p99_guard": P99_GUARD,
+        "message_ratio": message_ratio,
+        "headline": headline,
+        "refresh_sweep": sweep,
+    }
+    write_json_artifact(results_dir, "X5_scaleout.json", artifact)
+    lines = [
+        f"X5 headline ({HEADLINE_FLEET} servers, scale {HEADLINE_SCALE}):",
+        f"  prequal    {prequal['messages_per_request']:.3f} msg/req  "
+        f"p99 {prequal['p99'] * 1e3:.3f} ms",
+        f"  dodoor     {dodoor['messages_per_request']:.3f} msg/req  "
+        f"p99 {dodoor['p99'] * 1e3:.3f} ms  ({message_ratio:.1f}x fewer msgs)",
+        f"  power_of_d {headline['power_of_d']['messages_per_request']:.3f} "
+        f"msg/req  p99 {headline['power_of_d']['p99'] * 1e3:.3f} ms",
+    ]
+    for label, row in sorted(sweep.items()):
+        lines.append(
+            f"  {label:14s} {row['messages_per_request']:.3f} msg/req  "
+            f"p99 {row['p99'] * 1e3:.3f} ms"
+        )
+    text = "\n".join(lines)
+    print()
+    print(text)

@@ -17,7 +17,7 @@ and time-to-recover after ``Recover`` must be measured and small.
 import dataclasses
 import math
 
-from benchmarks.conftest import execute_scenario, report
+from benchmarks._common import assert_cells_identical, smoke_grid
 
 from repro.experiments.scenarios import get_scenario
 from repro.faults.report import chaos_report
@@ -27,8 +27,8 @@ PLANS = ("crash", "partition", "flaky", "slownode")
 
 
 def bench_x6_chaos(benchmark, results_dir):
-    result = execute_scenario(benchmark, "X6")
-    report(result, results_dir)
+    result = smoke_grid(benchmark, results_dir, "X6")
+    assert_cells_identical(result)
 
     p99 = {
         x: result.cell(x, "DAS").metric("p99")

@@ -21,7 +21,7 @@ from repro.experiments.scenarios import get_scenario
 
 #: Fraction of the full experiment size benches run at.  Overridable per
 #: invocation with ``pytest benchmarks/... --scale 0.02`` (the CI
-#: selection-conformance job uses the smoke scale; modules that pass an
+#: smoke matrix job uses the smoke scale; modules that pass an
 #: explicit ``scale=`` to :func:`execute_scenario` are unaffected).
 SCALE = 0.08
 

@@ -76,6 +76,13 @@ EXPECTATIONS = {
           "plain DAS on P99 and P999 under bimodal and alpha<=1.5 "
           "Pareto mixes without degrading mean RCT; a 50/50 split or "
           "frozen cutoff forfeits the win.",
+    "X5": "(ours, extension) at 128-512 servers the Dodoor-style load "
+          "cache (d-choices over bounded-stale periodic reports) keeps "
+          "P99 RCT within a guard band of probe-per-request Prequal "
+          "while sending an order of magnitude fewer control-plane "
+          "messages per request — report cost scales with "
+          "servers/interval, not with the request rate; the refresh "
+          "sweep at 256 servers traces freshness vs overhead.",
     "X6": "(ours, extension) under a mid-run crash, timeout-only "
           "retries pay the full op-timeout on every request touching "
           "the dead server, while quantile hedging plus a failure "

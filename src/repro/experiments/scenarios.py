@@ -715,6 +715,98 @@ def x3_scenario(scale: float = 1.0) -> Scenario:
 
 
 # ----------------------------------------------------------------------
+# X5 — extension (ours): fleet-scale selection vs control-plane cost
+# ----------------------------------------------------------------------
+#: Fleet sizes for the scale-out axis (the paper tops out at 16 servers).
+X5_FLEETS = (128, 256, 512)
+#: Adaptive policies compared at every fleet size.  ``prequal`` pays two
+#: probe round-trips per request; ``dodoor`` pays one broadcast per
+#: server per refresh interval regardless of the request rate; ``tars``
+#: and ``power_of_d`` ride piggybacked feedback only.
+X5_SELECTIONS = ("power_of_d", "tars", "prequal", "dodoor")
+#: Dodoor reporter cadence of the fleet-size cells (the headline point:
+#: at 256 servers this is where reports/request drops an order of
+#: magnitude below prequal's probes/request).
+X5_HEADLINE_INTERVAL = 10e-3
+#: Extra dodoor refresh intervals swept at 256 servers (the headline
+#: interval already covers 10 ms via the fleet axis).
+X5_INTERVAL_SWEEP = (2e-3, 5e-3, 20e-3)
+
+
+def _x5_overrides(selection: str, interval: float = X5_HEADLINE_INTERVAL) -> Dict[str, Any]:
+    """Per-policy cluster knobs for one X5 cell."""
+    overrides: Dict[str, Any] = dict(
+        replication_factor=3,
+        replica_selection=selection,
+        # Multi-tenant keyspace: each client draws from its own slice, so
+        # no two front-ends contend on the same keys — selection skew is
+        # purely a load signal, not a popularity artifact.
+        tenants=N_CLIENTS,
+    )
+    if selection == "prequal":
+        overrides["probes_per_request"] = 2
+    if selection == "dodoor":
+        overrides["load_report_interval"] = interval
+        # Keep cached entries valid across one missed report plus slack.
+        overrides["replica_selection_params"] = {
+            "max_staleness": max(25e-3, 2.5 * interval)
+        }
+    return overrides
+
+
+def x5_scenario(scale: float = 1.0) -> Scenario:
+    """Fleet-scale replica selection: RCT vs control-plane message cost.
+
+    128/256/512 servers at fixed per-server load 0.7, three-way
+    replication, uniform popularity partitioned into one keyspace slice
+    per client (multi-tenant).  The adaptive policies differ in *how*
+    they learn server load: ``prequal`` probes per request (control cost
+    scales with the request rate), ``dodoor`` holds a bounded-stale load
+    cache refreshed by periodic asynchronous server reports (control
+    cost scales with servers/interval, independent of request rate),
+    ``tars``/``power_of_d`` use free piggybacked feedback only.  A
+    refresh-interval sweep at 256 servers traces dodoor's
+    freshness-vs-overhead curve.  Per-cell control-plane accounting
+    (``messages_sent{kind}``) surfaces through ``selection_stats()`` and
+    the ``client_control_messages`` gauges.
+    """
+    _check_scale(scale)
+    points = []
+    for n in X5_FLEETS:
+        for selection in X5_SELECTIONS:
+            points.append(
+                RunPoint(
+                    x=f"{n}s/{selection}",
+                    config=_base_config(
+                        0.7, n_servers=n, **_x5_overrides(selection)
+                    ),
+                    sim=SimulationConfig(max_requests=_requests(scale)),
+                )
+            )
+    for interval in X5_INTERVAL_SWEEP:
+        points.append(
+            RunPoint(
+                x=f"256s/dodoor@{interval * 1e3:g}ms",
+                config=_base_config(
+                    0.7, n_servers=256, **_x5_overrides("dodoor", interval)
+                ),
+                sim=SimulationConfig(max_requests=_requests(scale)),
+            )
+        )
+    return Scenario(
+        experiment_id="X5",
+        title="Extension: fleet-scale selection vs control-plane cost",
+        x_label="fleet/selection",
+        metric="p99",
+        points=tuple(points),
+        schedulers=(DAS,),
+        notes="Ours, not in the paper: at 256+ servers dodoor must match "
+        "prequal's tail within a guard band at an order of magnitude "
+        "fewer control-plane messages per request.",
+    )
+
+
+# ----------------------------------------------------------------------
 # X6 — extension (ours): chaos plans vs client resilience
 # ----------------------------------------------------------------------
 def x6_scenario(scale: float = 1.0) -> Scenario:
@@ -920,6 +1012,7 @@ SCENARIOS: Dict[str, Callable[[float], Scenario]] = {
     "X2": x2_scenario,
     "X3": x3_scenario,
     "X4": x4_scenario,
+    "X5": x5_scenario,
     "X6": x6_scenario,
 }
 

@@ -26,6 +26,7 @@ from repro.kvstore.service import ServiceModel
 from repro.metrics.collector import MetricsCollector
 from repro.obs import OBS_FAULT, OpSpan, RequestTrace, Tracer
 from repro.schedulers.base import ClientTagger
+from repro.selection import FEEDBACK_WIRE_BYTES, PROBE_WIRE_BYTES
 from repro.sim.core import Environment
 from repro.workload.requests import RequestFactory
 
@@ -60,7 +61,10 @@ class Client:
         fault_state: Optional[Callable[[], tuple]] = None,
         closed_loop: bool = False,
         closed_concurrency: int = 1,
+        probes_per_request: int = 0,
     ):
+        if probes_per_request < 0:
+            raise ValueError("probes_per_request must be >= 0")
         if op_timeout is not None and op_timeout <= 0:
             raise ValueError("op_timeout must be positive")
         if max_retries < 0:
@@ -96,6 +100,17 @@ class Client:
         # per-op dispatch/response forwarding (primary reads skip it all).
         self._track_inflight = placement.wants_inflight
         self._track_selection_feedback = placement.wants_feedback
+        # Dedicated probe round-trips (prequal at its true cost): fired
+        # per dispatched request, rotating over the fleet.
+        self.probes_per_request = probes_per_request
+        self._want_probes = (
+            probes_per_request > 0
+            and placement.wants_feedback
+            and placement.policy.wants_probes
+        )
+        self._probe_cursor = 0
+        self._server_ids = tuple(sorted(servers))
+        self.probes_sent = 0
         self.requests_sent = 0
         self.requests_completed = 0
         self.retries_sent = 0
@@ -208,6 +223,8 @@ class Client:
         for op in request.operations:
             self._attempts[(request.request_id, op.index)] = 1
             self._send_op(op)
+        if self._want_probes:
+            self._send_probes()
 
     def _send_op(self, op: Operation, is_hedge: bool = False) -> None:
         now = self.env.now
@@ -293,6 +310,43 @@ class Client:
         )
         self.retries_sent += 1
         self._send_op(retry)
+
+    # ------------------------------------------------------------------
+    # Selection probes (control plane)
+    # ------------------------------------------------------------------
+    def _send_probes(self) -> None:
+        """Fire this request's probe round-trips, rotating over the fleet.
+
+        The rotation is deterministic (no rng draw) and spreads coverage
+        evenly, so every server's state reaches the probe pool within
+        ``n_servers / probes_per_request`` requests.  Each leg of the
+        round-trip is recorded as one kind=probe control message.
+        """
+        ids = self._server_ids
+        for _ in range(self.probes_per_request):
+            sid = ids[self._probe_cursor % len(ids)]
+            self._probe_cursor += 1
+            self.probes_sent += 1
+            self.placement.record_control_message(
+                "probe", payload_bytes=PROBE_WIRE_BYTES
+            )
+            self.network.send(
+                ("client", self.client_id),
+                ("server", sid),
+                self.client_id,
+                self.servers[sid].handle_probe,
+                size_bytes=PROBE_WIRE_BYTES,
+            )
+
+    def receive_probe_reply(self, feedback: Feedback) -> None:
+        """Delivery point for a probe's feedback reply."""
+        if self.estimates is not None:
+            self.estimates.observe(feedback)
+        if self._track_selection_feedback:
+            self.placement.record_control_message(
+                "probe", payload_bytes=FEEDBACK_WIRE_BYTES
+            )
+            self.placement.observe_feedback(feedback)
 
     # ------------------------------------------------------------------
     # Hedging
@@ -407,6 +461,11 @@ class Client:
             if self.estimates is not None:
                 self.estimates.observe(response.feedback)
             if self._track_selection_feedback:
+                # Piggybacked snapshots ride an existing data reply: zero
+                # extra messages, but the payload bytes are real.
+                self.placement.record_control_message(
+                    "feedback", messages=0, payload_bytes=FEEDBACK_WIRE_BYTES
+                )
                 self.placement.observe_feedback(response.feedback)
         self.metrics.record_op_completion(response.ok)
 
@@ -471,10 +530,14 @@ class Client:
             self._on_finished(self)
 
     def receive_feedback(self, feedback: Feedback) -> None:
-        """Delivery point for broadcast (periodic-mode) feedback."""
+        """Delivery point for broadcast feedback (periodic-mode snapshots
+        and Dodoor-style load reports alike)."""
         if self.estimates is not None:
             self.estimates.observe(feedback)
         if self._track_selection_feedback:
+            self.placement.record_control_message(
+                "report", payload_bytes=FEEDBACK_WIRE_BYTES
+            )
             self.placement.observe_feedback(feedback)
 
     # ------------------------------------------------------------------

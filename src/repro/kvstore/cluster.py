@@ -22,9 +22,10 @@ from repro.metrics.summary import SummaryStats
 from repro.obs import MetricsRegistry, Tracer, register_queue_gauges
 from repro.schedulers.base import QueueContext
 from repro.schedulers.registry import create_policy
-from repro.selection import selection_policy_needs
+from repro.selection import CONTROL_MESSAGE_KINDS, selection_policy_needs
 from repro.sim.core import Environment
 from repro.sim.rand import RandomStreams
+from repro.workload.popularity import PartitionedPopularity
 from repro.workload.requests import (
     Keyspace,
     RequestFactory,
@@ -158,8 +159,26 @@ class Cluster:
             for client in self.clients:
                 server.clients[client.client_id] = client
 
-        if config.feedback.periodic:
-            self._start_periodic_feedback()
+        # One periodic broadcaster covers both delivery styles: A2's
+        # PERIODIC feedback mode and the Dodoor-style load reporter (a
+        # policy that declares wants_load_reports gets reports even in
+        # piggyback mode; an explicit load_report_interval overrides the
+        # cadence either way).
+        wants_reports = any(
+            c.placement.wants_feedback and c.placement.policy.wants_load_reports
+            for c in self.clients
+        )
+        if (
+            config.feedback.periodic
+            or config.load_report_interval is not None
+            or wants_reports
+        ):
+            interval = (
+                config.load_report_interval
+                if config.load_report_interval is not None
+                else config.feedback.interval
+            )
+            self._start_periodic_feedback(interval)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -225,10 +244,19 @@ class Cluster:
                 cfg.trace, start=cid, stride=cfg.n_clients
             )
         else:
+            popularity = cfg.popularity
+            if cfg.tenants > 1:
+                # Multi-tenant key spaces: confine this client's law to
+                # its tenant's disjoint slice of the keyspace.
+                popularity = PartitionedPopularity(
+                    inner=cfg.popularity,
+                    tenant=cid % cfg.tenants,
+                    tenants=cfg.tenants,
+                )
             spec = RequestSpec(
                 arrivals=cfg.arrivals.scaled(1.0 / cfg.n_clients),
                 fanout=cfg.fanout,
-                popularity=cfg.popularity,
+                popularity=popularity,
                 put_fraction=cfg.put_fraction,
             )
             factory = RequestFactory(
@@ -269,6 +297,27 @@ class Cluster:
                 client=str(cid),
                 policy=placement.policy.name,
             )
+            for kind in CONTROL_MESSAGE_KINDS:
+                self.registry.gauge(
+                    "client_control_messages",
+                    "Control-plane messages attributed to replica selection",
+                    fn=lambda p=placement.policy, k=kind: float(
+                        p.control_messages[k]
+                    ),
+                    client=str(cid),
+                    policy=placement.policy.name,
+                    kind=kind,
+                )
+                self.registry.gauge(
+                    "client_control_bytes",
+                    "Control-plane payload bytes attributed to replica selection",
+                    fn=lambda p=placement.policy, k=kind: float(
+                        p.control_bytes[k]
+                    ),
+                    client=str(cid),
+                    policy=placement.policy.name,
+                    kind=kind,
+                )
         # Request ids are partitioned per client so they are globally unique.
         return Client(
             env=self.env,
@@ -295,11 +344,10 @@ class Cluster:
             ),
             closed_loop=cfg.closed_loop,
             closed_concurrency=cfg.closed_concurrency,
+            probes_per_request=cfg.probes_per_request,
         )
 
-    def _start_periodic_feedback(self) -> None:
-        interval = self.config.feedback.interval
-
+    def _start_periodic_feedback(self, interval: float) -> None:
         def deliver_factory(server: Server):
             def deliver(feedback):
                 for client in self.clients:

@@ -79,6 +79,20 @@ class ClusterConfig:
     feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
     #: ServerEstimates knobs for feedback-driven policies.
     estimator_params: Dict[str, Any] = field(default_factory=dict)
+    #: Refresh interval of the asynchronous load reporter (Dodoor-style):
+    #: every server broadcasts a load report to every client this often.
+    #: None = start a reporter at the feedback interval only when the
+    #: selection policy asks for load reports (``wants_load_reports``).
+    load_report_interval: Optional[float] = None
+    #: Dedicated probe round-trips fired per dispatched request by
+    #: probe-driven selection policies (prequal).  0 keeps the sim's
+    #: historical free-piggyback behaviour; X5 sets it so probing pays
+    #: its real control-plane cost.
+    probes_per_request: int = 0
+    #: Multi-tenant key spaces: split the keyspace into this many
+    #: disjoint partitions; client ``cid`` draws keys only from slice
+    #: ``cid % tenants``.
+    tenants: int = 1
     #: When set, clients replay these TraceRecords (round-robin) instead of
     #: sampling from arrivals/fanout/popularity.
     trace: Optional[Tuple[Any, ...]] = None
@@ -166,6 +180,17 @@ class ClusterConfig:
             raise ConfigError("failure_detector requires op_timeout")
         if self.closed_concurrency < 1:
             raise ConfigError("closed_concurrency must be >= 1")
+        if self.load_report_interval is not None and self.load_report_interval <= 0:
+            raise ConfigError("load_report_interval must be positive")
+        if self.probes_per_request < 0:
+            raise ConfigError("probes_per_request must be >= 0")
+        if self.tenants < 1:
+            raise ConfigError("tenants must be >= 1")
+        if self.tenants > self.keyspace_size:
+            raise ConfigError(
+                f"tenants ({self.tenants}) exceeds keyspace_size "
+                f"({self.keyspace_size})"
+            )
         # Validate the policy name at config time rather than deep inside
         # cluster assembly.  Imported here to keep the config module free
         # of a hard dependency for type checking.

@@ -136,6 +136,12 @@ class ReplicaPlacement:
         """Forward a feedback snapshot to the policy (probe funnel)."""
         self.policy.observe_feedback(feedback, self._clock())
 
+    def record_control_message(
+        self, kind: str, messages: int = 1, payload_bytes: int = 0
+    ) -> None:
+        """Attribute control-plane traffic to the selection policy."""
+        self.policy.record_control_message(kind, messages, payload_bytes)
+
     def selection_stats(self) -> dict:
         """The policy's decision/pick summary."""
         return self.policy.stats()

@@ -91,6 +91,7 @@ class Server:
         self.ops_served = 0
         self.ops_failed = 0
         self.ops_dropped = 0
+        self.probes_answered = 0
         self.busy_time = 0.0
         self.process = env.process(self._run())
 
@@ -107,6 +108,29 @@ class Server:
         self.queue.push(op, self.env.now)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
+
+    def handle_probe(self, client_id: int) -> None:
+        """Network delivery point for a selection probe.
+
+        Probes live on the control plane: answered immediately from the
+        current queue state (no service time), dropped silently when the
+        server is crashed — the prober's pool ages the entry out.
+        """
+        if self.crashed:
+            return
+        client = self.clients.get(client_id)
+        if client is None:  # pragma: no cover - wiring error
+            raise RuntimeError(
+                f"server {self.server_id} has no route to client {client_id}"
+            )
+        self.probes_answered += 1
+        feedback = self.make_feedback()
+        self.network.send(
+            ("server", self.server_id),
+            ("client", client_id),
+            feedback,
+            client.receive_probe_reply,
+        )
 
     # ------------------------------------------------------------------
     # Crash / recover lifecycle

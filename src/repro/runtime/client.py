@@ -56,7 +56,12 @@ from repro.runtime.resilience import (
     RetryPolicy,
     ServerUnavailableError,
 )
-from repro.selection import create_selection_policy, selection_policy_needs
+from repro.selection import (
+    FEEDBACK_WIRE_BYTES,
+    PROBE_WIRE_BYTES,
+    create_selection_policy,
+    selection_policy_needs,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -214,6 +219,7 @@ class RuntimeClient:
                 ("probes_sent", "Control-plane load probes issued"),
                 ("probes_ok", "Probes answered in time"),
                 ("probes_failed", "Probes that timed out or died"),
+                ("load_reports", "Unsolicited load-report broadcasts absorbed"),
             )
         }
         if not self._primary_reads:
@@ -332,8 +338,11 @@ class RuntimeClient:
         feedback = message.fields.get("feedback")
         if not feedback:
             return
-        # Probe replies additionally carry in_flight (queued + in-service),
-        # a strictly better requests-in-flight signal than queue_length.
+        if message.type == "load_report":
+            self.counters["load_reports"].inc()
+        # Probe replies and load reports additionally carry in_flight
+        # (queued + in-service), a strictly better requests-in-flight
+        # signal than queue_length.
         queue_length = int(
             message.fields.get("in_flight", feedback.get("queue_length", 0))
         )
@@ -346,8 +355,24 @@ class RuntimeClient:
         )
         self.estimates.observe(fb)
         if self._track_feedback:
-            # The one funnel into the policy: piggybacked replies and probe
-            # replies both land here via the shared read loop.
+            # The one funnel into the policy: piggybacked replies, probe
+            # replies, and load-report broadcasts all land here via the
+            # shared read loop.  Control-plane accounting tags the kind:
+            # a broadcast report is a dedicated message, a probe reply is
+            # the return leg of a round-trip, and piggybacked feedback
+            # rides an existing data reply (bytes only, zero messages).
+            if message.type == "load_report":
+                self.selection_policy.record_control_message(
+                    "report", payload_bytes=FEEDBACK_WIRE_BYTES
+                )
+            elif "in_flight" in message.fields:
+                self.selection_policy.record_control_message(
+                    "probe", payload_bytes=FEEDBACK_WIRE_BYTES
+                )
+            else:
+                self.selection_policy.record_control_message(
+                    "feedback", messages=0, payload_bytes=FEEDBACK_WIRE_BYTES
+                )
             self.selection_policy.observe_feedback(fb, now=time.monotonic())
 
     # ------------------------------------------------------------------
@@ -707,6 +732,10 @@ class RuntimeClient:
     async def _probe(self, server_id: int) -> None:
         """One probe round-trip (bypasses retry/hedge/breaker machinery)."""
         self.counters["probes_sent"].inc()
+        # The outbound leg; the reply leg is accounted by the read loop.
+        self.selection_policy.record_control_message(
+            "probe", payload_bytes=PROBE_WIRE_BYTES
+        )
         try:
             await self._attempt(server_id, "probe", {}, self.probe_timeout)
         except (asyncio.TimeoutError, ConnectionError, OSError):

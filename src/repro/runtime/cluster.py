@@ -23,6 +23,12 @@ from repro.runtime.client import RuntimeClient
 from repro.runtime.faults import FaultPolicy
 from repro.runtime.resilience import HedgePolicy, RetryPolicy
 from repro.runtime.server import KVServer
+from repro.selection import selection_policy_needs
+
+#: Reporter cadence used when the selection policy wants load reports but
+#: no explicit ``load_report_interval`` was given.  Kept below the dodoor
+#: policy's default ``max_staleness`` (25 ms) so cached entries stay fresh.
+DEFAULT_LOAD_REPORT_INTERVAL = 0.01
 
 
 class LocalCluster:
@@ -47,9 +53,18 @@ class LocalCluster:
         replication_factor: int = 1,
         selection: str = "primary",
         selection_params: Optional[Dict[str, Any]] = None,
+        load_report_interval: Optional[float] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one server")
+        if load_report_interval is None and selection_policy_needs(
+            selection
+        ).load_reports:
+            # Report-fed policies (dodoor) are useless without a reporter;
+            # provision one at the default cadence rather than silently
+            # degrading every pick to blind random.
+            load_report_interval = DEFAULT_LOAD_REPORT_INTERVAL
+        self.load_report_interval = load_report_interval
         self.registry = MetricsRegistry()
         self.tracer = Tracer(sample_rate=trace_sample_rate)
         self.servers = [
@@ -60,6 +75,7 @@ class LocalCluster:
                 byte_rate=byte_rate,
                 per_op_overhead=per_op_overhead,
                 registry=self.registry,
+                load_report_interval=load_report_interval,
             )
             for i in range(n_servers)
         ]

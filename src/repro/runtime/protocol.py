@@ -18,6 +18,15 @@ Request types (client -> server):
   snapshot plus ``in_flight`` (queued + in-service operations), feeding
   the client's probe pool without queueing behind data operations.
 
+Server-push (server -> client, unsolicited):
+
+* ``load_report`` — ``{"feedback": {...}, "in_flight": int}`` with
+  ``id=0`` (never a valid correlation id, so clients absorb the feedback
+  and drop the frame).  Broadcast periodically to every open connection
+  when the server runs with a ``load_report_interval`` — the Dodoor-style
+  control plane whose cost scales with servers and time, not with the
+  request rate.
+
 Response (server -> client):
 
 * ``reply`` — ``{"ok": bool, "values": {key: str|null}, "error": str|null,
@@ -47,7 +56,7 @@ _LEN = struct.Struct(">I")
 #: Sanity bound so a corrupt length prefix cannot allocate gigabytes.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
-VALID_TYPES = ("get", "put", "mget", "stats", "probe", "reply")
+VALID_TYPES = ("get", "put", "mget", "stats", "probe", "reply", "load_report")
 
 
 @dataclass

@@ -61,6 +61,13 @@ class KVServer:
         registry so every server's series lands in one scrape; a
         standalone server creates its own.  Series survive
         :meth:`crash`/:meth:`restart` (the server keeps its identity).
+    load_report_interval:
+        When set, the server broadcasts an unsolicited ``load_report``
+        message (feedback snapshot + in-flight count) to every open
+        connection each interval — the Dodoor-style control plane whose
+        cost is O(connections / interval), independent of request rate.
+        The broadcaster dies with :meth:`crash` (a dead server gossips
+        nothing) and re-arms on :meth:`restart`.
     """
 
     def __init__(
@@ -74,7 +81,10 @@ class KVServer:
         per_op_overhead: float = 50e-6,
         fault_injector: Optional[FaultInjector] = None,
         registry: Optional[MetricsRegistry] = None,
+        load_report_interval: Optional[float] = None,
     ):
+        if load_report_interval is not None and load_report_interval <= 0:
+            raise ValueError("load_report_interval must be positive")
         self.host = host
         self._requested_port = port
         self.server_id = server_id
@@ -92,6 +102,8 @@ class KVServer:
         self.byte_rate = byte_rate
         self.per_op_overhead = per_op_overhead
         self.faults = fault_injector if fault_injector is not None else FaultInjector()
+        self.load_report_interval = load_report_interval
+        self._report_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         sid = str(server_id)
@@ -109,6 +121,11 @@ class KVServer:
         )
         self._c_probes = self.registry.counter(
             "server_probes_total", "Load probes answered", server=sid
+        )
+        self._c_reports = self.registry.counter(
+            "server_load_reports_total",
+            "Load-report messages delivered to clients",
+            server=sid,
         )
         self.registry.gauge(
             "server_active_connections",
@@ -132,8 +149,13 @@ class KVServer:
         # Remember the concrete port so crash/restart reuses it and
         # clients can reconnect to the same endpoint.
         self._requested_port = self.port
+        if self.load_report_interval is not None:
+            self._report_task = asyncio.create_task(
+                self._report_loop(), name=f"kv-load-report-{self.server_id}"
+            )
 
     async def stop(self) -> None:
+        await self._stop_report_loop()
         await self._close_listener()
         self._drop_connections()
         await self.executor.stop()
@@ -146,6 +168,7 @@ class KVServer:
         on the same port with storage intact (a restart, not a rebuild).
         """
         self._c_crashes.inc()
+        await self._stop_report_loop()
         await self._close_listener()
         self._drop_connections()
         await self.executor.abort()
@@ -173,6 +196,40 @@ class KVServer:
         for writer in list(self._writers):
             writer.close()
         self._writers.clear()
+
+    async def _stop_report_loop(self) -> None:
+        if self._report_task is None:
+            return
+        self._report_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._report_task
+        self._report_task = None
+
+    async def _report_loop(self) -> None:
+        """Periodic ``load_report`` broadcast to every open connection.
+
+        ``id=0`` never collides with a client correlation id (clients
+        count from 1), so receivers absorb the feedback and drop the
+        frame.  A writer that fails mid-broadcast is skipped — the
+        connection handler owns its teardown.
+        """
+        assert self.load_report_interval is not None
+        while True:
+            await asyncio.sleep(self.load_report_interval)
+            message = Message(
+                type="load_report",
+                id=0,
+                fields={
+                    "feedback": self.executor.feedback(),
+                    "in_flight": self.executor.in_flight,
+                },
+            )
+            for writer in list(self._writers):
+                try:
+                    await write_message(writer, message)
+                except (ConnectionError, OSError):
+                    continue
+                self._c_reports.inc()
 
     # ------------------------------------------------------------------
     def _demand(self, value_size: int) -> float:
@@ -386,6 +443,7 @@ class KVServer:
             "connections_accepted": self.connections,
             "active_connections": len(self._writers),
             "probes_answered": int(self._c_probes.value),
+            "load_reports_sent": int(self._c_reports.value),
             "ops_served": self.ops_served,
             "ops_executed": self.executor.ops_executed,
             "ops_failed": self.executor.ops_failed,

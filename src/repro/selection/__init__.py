@@ -6,14 +6,25 @@ a common :class:`~repro.selection.base.SelectionPolicy` interface with
 blind baselines (primary / random / round-robin), sampled load balancing
 (power-of-d-choices), estimate-scored ranking (C3-style cubic penalty,
 Tars-style timeliness-aware scoring — both fed by the same
-``Feedback``/``ServerEstimates`` stream DAS consumes), and Prequal-style
-probe-pool selection with hot/cold lexicographic picking.
+``Feedback``/``ServerEstimates`` stream DAS consumes), Prequal-style
+probe-pool selection with hot/cold lexicographic picking, and
+Dodoor-style d-choices over a bounded-stale load cache refreshed by
+periodic asynchronous server reports (the fleet-scale policy — control
+cost independent of the request rate).  Every policy accounts its
+control-plane traffic (``messages_sent{kind=probe|report|feedback}``,
+bytes) so overhead is a measured axis in X5.
 
 See ``docs/selection.md`` for each policy's knobs and the sim-vs-runtime
 wiring.
 """
 
-from repro.selection.base import SelectionPolicy
+from repro.selection.base import (
+    CONTROL_MESSAGE_KINDS,
+    FEEDBACK_WIRE_BYTES,
+    PROBE_WIRE_BYTES,
+    SelectionPolicy,
+)
+from repro.selection.dodoor import DodoorPolicy
 from repro.selection.prequal import PrequalPolicy, Probe
 from repro.selection.registry import (
     PolicyNeeds,
@@ -32,8 +43,12 @@ from repro.selection.static import (
 
 __all__ = [
     "C3Policy",
+    "CONTROL_MESSAGE_KINDS",
+    "DodoorPolicy",
+    "FEEDBACK_WIRE_BYTES",
     "LeastWorkPolicy",
     "PolicyNeeds",
+    "PROBE_WIRE_BYTES",
     "PowerOfDPolicy",
     "PrequalPolicy",
     "PrimaryPolicy",

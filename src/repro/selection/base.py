@@ -27,6 +27,20 @@ from __future__ import annotations
 import abc
 from typing import Any, ClassVar, Dict, Sequence
 
+#: The control-plane message kinds the accounting recognises, in the
+#: order they appear in stats output.  ``probe`` is a request/response
+#: round-trip the client initiated; ``report`` is an unsolicited periodic
+#: broadcast from a server; ``feedback`` is a snapshot piggybacked on a
+#: data-path reply (marginal wire cost, but counted so the overhead axis
+#: is complete).
+CONTROL_MESSAGE_KINDS = ("probe", "report", "feedback")
+
+#: Nominal wire size of one feedback/report snapshot (four 8-byte fields
+#: plus a server id) and of one probe request.  Both halves use the same
+#: nominal sizes so sim and runtime byte accounting are comparable.
+FEEDBACK_WIRE_BYTES = 40
+PROBE_WIRE_BYTES = 8
+
 
 class SelectionPolicy(abc.ABC):
     """Chooses the replica that serves a GET, from client-local signals.
@@ -45,6 +59,9 @@ class SelectionPolicy(abc.ABC):
     wants_feedback: ClassVar[bool] = False
     #: True when the runtime should issue control-plane probes for it.
     wants_probes: ClassVar[bool] = False
+    #: True when the cluster should run periodic server load reports
+    #: (asynchronous broadcast feeding observe_feedback) for it.
+    wants_load_reports: ClassVar[bool] = False
 
     def __init__(self):
         #: server_id -> reads routed there by this policy.
@@ -52,6 +69,15 @@ class SelectionPolicy(abc.ABC):
         #: server_id -> operations dispatched but not yet answered.
         self.inflight: Dict[int, int] = {}
         self.decisions = 0
+        #: kind -> control-plane messages attributed to keeping this
+        #: policy's view fresh (see CONTROL_MESSAGE_KINDS).
+        self.control_messages: Dict[str, int] = dict.fromkeys(
+            CONTROL_MESSAGE_KINDS, 0
+        )
+        #: kind -> payload bytes carried by those messages.
+        self.control_bytes: Dict[str, int] = dict.fromkeys(
+            CONTROL_MESSAGE_KINDS, 0
+        )
 
     # ------------------------------------------------------------------
     # Selection
@@ -89,17 +115,52 @@ class SelectionPolicy(abc.ABC):
         """A server feedback snapshot arrived (reply, broadcast, or probe)."""
 
     # ------------------------------------------------------------------
+    # Control-plane accounting
+    # ------------------------------------------------------------------
+    def record_control_message(
+        self, kind: str, messages: int = 1, payload_bytes: int = 0
+    ) -> None:
+        """Attribute ``messages`` control-plane messages of ``kind``.
+
+        Callers (the sim client, the runtime client) record at the point
+        a message crosses the wire on the policy's behalf: a probe
+        round-trip is two messages, a broadcast report is one per
+        recipient, a piggybacked snapshot is zero extra messages but its
+        payload bytes still count.
+        """
+        if kind not in self.control_messages:
+            raise ValueError(
+                f"unknown control message kind {kind!r}; "
+                f"one of {CONTROL_MESSAGE_KINDS}"
+            )
+        self.control_messages[kind] += messages
+        self.control_bytes[kind] += payload_bytes
+
+    def control_messages_total(self) -> int:
+        """All control-plane messages recorded, across kinds."""
+        return sum(self.control_messages.values())
+
+    # ------------------------------------------------------------------
     def inflight_of(self, server_id: int) -> int:
         """Local requests-in-flight count for ``server_id``."""
         return self.inflight.get(server_id, 0)
 
     def stats(self) -> Dict[str, Any]:
         """JSON-able decision/pick summary for ``stats()`` surfaces."""
+        total = self.control_messages_total()
         return {
             "policy": self.name,
             "decisions": self.decisions,
             "picks": dict(sorted(self.picks.items())),
             "inflight": {s: n for s, n in sorted(self.inflight.items()) if n},
+            "control_plane": {
+                "messages_sent": dict(self.control_messages),
+                "bytes_sent": dict(self.control_bytes),
+                "messages_total": total,
+                "messages_per_decision": (
+                    total / self.decisions if self.decisions else 0.0
+                ),
+            },
         }
 
     def __repr__(self) -> str:

@@ -13,6 +13,7 @@ from typing import Any, Dict
 
 from repro.errors import ConfigError
 from repro.selection.base import SelectionPolicy
+from repro.selection.dodoor import DodoorPolicy
 from repro.selection.prequal import PrequalPolicy
 from repro.selection.scored import C3Policy, TarsPolicy
 from repro.selection.static import (
@@ -26,10 +27,17 @@ from repro.selection.static import (
 
 @dataclass(frozen=True)
 class PolicyNeeds:
-    """Constructor dependencies of one policy name."""
+    """Constructor dependencies of one policy name.
+
+    ``load_reports`` flags policies fed by periodic asynchronous server
+    load reports, so callers can provision the reporter (the sim's
+    broadcaster, the runtime's ``load_report_interval``) before the
+    policy instance exists.
+    """
 
     rng: bool = False
     estimates: bool = False
+    load_reports: bool = False
 
 
 _SPECS: Dict[str, PolicyNeeds] = {
@@ -41,6 +49,7 @@ _SPECS: Dict[str, PolicyNeeds] = {
     "c3": PolicyNeeds(estimates=True),
     "tars": PolicyNeeds(estimates=True),
     "prequal": PolicyNeeds(),
+    "dodoor": PolicyNeeds(rng=True, load_reports=True),
 }
 
 #: Every registered policy name, in registration order.
@@ -98,4 +107,6 @@ def create_selection_policy(
         return TarsPolicy(estimates, **params)
     if name == "prequal":
         return PrequalPolicy(**params)
+    if name == "dodoor":
+        return DodoorPolicy(rng, **params)
     raise ConfigError(f"unregistered selection policy {name!r}")  # pragma: no cover

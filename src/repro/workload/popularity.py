@@ -182,6 +182,65 @@ class _ZipfSampler(PopularitySampler):
 
 
 @dataclass(frozen=True)
+class PartitionedPopularity(PopularitySpec):
+    """One tenant's slice of a partitioned keyspace.
+
+    Multi-tenant key spaces: the keyspace is split into ``tenants``
+    contiguous equal slices and this spec confines an ``inner``
+    popularity law to slice ``tenant`` (inner indices are drawn over the
+    slice span and offset into place).  Tenants therefore never share
+    keys — the fleet-scale X5 setting where no single client's traffic
+    covers the whole fleet.
+    """
+
+    inner: PopularitySpec
+    tenant: int
+    tenants: int
+
+    def __post_init__(self):
+        if self.tenants < 1:
+            raise WorkloadError(f"tenants must be >= 1, got {self.tenants}")
+        if not 0 <= self.tenant < self.tenants:
+            raise WorkloadError(
+                f"tenant must be in [0, {self.tenants}), got {self.tenant}"
+            )
+
+    def build(self, keyspace_size: int, rng: np.random.Generator) -> PopularitySampler:
+        span = keyspace_size // self.tenants
+        if span < 1:
+            raise WorkloadError(
+                f"keyspace of {keyspace_size} cannot be split into "
+                f"{self.tenants} tenant slices"
+            )
+        return _PartitionedSampler(
+            keyspace_size, rng, self.inner.build(span, rng), self.tenant * span
+        )
+
+
+class _PartitionedSampler(PopularitySampler):
+    """Offsets an inner sampler's draws into this tenant's slice."""
+
+    def __init__(
+        self,
+        keyspace_size: int,
+        rng: np.random.Generator,
+        inner: PopularitySampler,
+        offset: int,
+    ):
+        super().__init__(keyspace_size, rng)
+        self._inner = inner
+        self._offset = offset
+
+    def sample_one(self) -> int:
+        return self._offset + self._inner.sample_one()
+
+    def sample_distinct(self, n: int) -> np.ndarray:
+        # Distinctness within the slice is distinctness globally (slices
+        # are disjoint), so the inner draw carries the whole guarantee.
+        return self._inner.sample_distinct(n) + self._offset
+
+
+@dataclass(frozen=True)
 class HotspotPopularity(PopularitySpec):
     """A ``hot_fraction`` of keys receives ``hot_probability`` of accesses.
 

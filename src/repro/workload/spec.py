@@ -133,6 +133,7 @@ _TOP_LEVEL_KEYS = frozenset(
         "load",
         "put_fraction",
         "keyspace_size",
+        "tenants",
         "arrivals",
         "fanout",
         "sizes",
@@ -290,6 +291,10 @@ class WorkloadSpec:
     put_fraction: float = 0.0
     #: Overrides the cluster's keyspace size when set.
     keyspace_size: Optional[int] = None
+    #: Multi-tenant key spaces: the keyspace is split into this many
+    #: disjoint per-tenant partitions and each client's popularity law is
+    #: confined to its tenant's slice (tenant = client_id mod tenants).
+    tenants: int = 1
     arrivals: ArrivalSpec = field(
         default_factory=lambda: PoissonArrivals(rate=1000.0)
     )
@@ -328,6 +333,10 @@ class WorkloadSpec:
         if self.keyspace_size is not None and self.keyspace_size < 1:
             raise WorkloadError(
                 f"spec {self.name!r}: keyspace_size must be >= 1"
+            )
+        if self.tenants < 1:
+            raise WorkloadError(
+                f"spec {self.name!r}: tenants must be >= 1, got {self.tenants}"
             )
         if self.trace is not None and self.load is not None:
             raise WorkloadError(
@@ -374,6 +383,7 @@ class WorkloadSpec:
             ("put_fraction", (int, float)),
             ("load", (int, float)),
             ("keyspace_size", int),
+            ("tenants", int),
         ):
             if key in data:
                 value = data[key]
@@ -426,6 +436,7 @@ class WorkloadSpec:
             "load": self.load,
             "put_fraction": self.put_fraction,
             "keyspace_size": self.keyspace_size,
+            "tenants": self.tenants,
             "arrivals": _component_dict(self.arrivals, ARRIVAL_KINDS),
             "fanout": _component_dict(self.fanout, FANOUT_KINDS),
             "sizes": _component_dict(self.sizes, SIZE_KINDS),
@@ -505,6 +516,7 @@ class WorkloadSpec:
             "put_fraction": self.put_fraction,
             "closed_loop": self.mode == "closed",
             "closed_concurrency": self.closed_concurrency,
+            "tenants": self.tenants,
         }
         if keyspace is not None:
             overrides["keyspace_size"] = keyspace

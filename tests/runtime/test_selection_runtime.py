@@ -120,6 +120,76 @@ class TestProbes:
         run(scenario())
 
 
+class TestLoadReports:
+    def test_dodoor_cluster_broadcasts_and_absorbs_reports(self):
+        async def scenario():
+            async with LocalCluster(
+                n_servers=3, byte_rate=None, replication_factor=3,
+                selection="dodoor", load_report_interval=0.02,
+                trace_sample_rate=0,
+            ) as cluster:
+                await cluster.preload({f"k{i}": b"x" for i in range(10)})
+                deadline = asyncio.get_running_loop().time() + 2.0
+                while asyncio.get_running_loop().time() < deadline:
+                    await cluster.client.multiget([f"k{i}" for i in range(5)])
+                    if cluster.client.stats()["load_reports"] >= 3:
+                        break
+                    await asyncio.sleep(0.02)
+                stats = cluster.client.stats()
+                assert stats["load_reports"] >= 3
+                assert stats["probes_sent"] == 0  # reports replace probes
+                selection = stats["selection"]
+                assert selection["policy"] == "dodoor"
+                assert selection["control_plane"]["messages_sent"]["report"] >= 3
+                assert selection["reports_cached"] > 0
+                sent = sum(
+                    s.stats()["load_reports_sent"] for s in cluster.servers
+                )
+                assert sent >= stats["load_reports"]
+
+        run(scenario())
+
+    def test_reporter_defaults_on_for_report_fed_policy(self):
+        # No explicit interval: LocalCluster must arm the reporter because
+        # the dodoor registry entry declares load_reports.
+        cluster = LocalCluster(
+            n_servers=2, byte_rate=None, replication_factor=2,
+            selection="dodoor", trace_sample_rate=0,
+        )
+        assert cluster.load_report_interval is not None
+        assert all(
+            s.load_report_interval == cluster.load_report_interval
+            for s in cluster.servers
+        )
+
+    def test_reporter_stays_off_for_other_policies(self):
+        cluster = LocalCluster(
+            n_servers=2, byte_rate=None, replication_factor=2,
+            selection="prequal", trace_sample_rate=0,
+        )
+        assert cluster.load_report_interval is None
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="load_report_interval"):
+            KVServer(byte_rate=None, load_report_interval=0.0)
+
+    def test_report_loop_survives_restart(self):
+        async def scenario():
+            server = KVServer(
+                scheduler="fcfs", byte_rate=None, load_report_interval=0.01
+            )
+            await server.start()
+            assert server._report_task is not None
+            await server.crash()
+            assert server._report_task is None
+            await server.restart()
+            assert server._report_task is not None
+            await server.stop()
+            assert server._report_task is None
+
+        run(scenario())
+
+
 class TestDegradedServerSheds:
     def test_prequal_sheds_reads_from_slow_server(self):
         """A server made 100x slower ends up with well under its fair share.

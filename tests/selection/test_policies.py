@@ -1,7 +1,7 @@
 """Property tests for the replica-selection policies.
 
-These are the conformance tests the CI ``selection-conformance`` job
-runs: distributional properties of the blind policies, the never-pick-
+These are the conformance tests the CI ``smoke (selection)`` matrix
+entry runs: distributional properties of the blind policies, the never-pick-
 the-worst guarantee of power-of-d, staleness handling in Tars and the
 Prequal probe pool, and the bookkeeping shared through the base class.
 """

@@ -67,6 +67,77 @@ class TestSimWiring:
         assert placement.policy.inflight == {}
 
 
+class TestX5SimWiring:
+    def test_dodoor_reports_counted_not_probes(self):
+        cluster, result = run_small("dodoor", load_report_interval=1e-3)
+        assert result.requests_completed == result.requests_sent
+        for per_client in cluster.selection_stats().values():
+            control = per_client["control_plane"]
+            assert control["messages_sent"]["report"] > 0
+            assert control["messages_sent"]["probe"] == 0
+            assert per_client["reports_cached"] > 0
+
+    def test_dodoor_defaults_reporter_from_policy_needs(self):
+        # No explicit load_report_interval: the cluster must still start
+        # the periodic broadcaster because the policy declares
+        # wants_load_reports.
+        cluster, _ = run_small("dodoor")
+        for per_client in cluster.selection_stats().values():
+            assert per_client["control_plane"]["messages_sent"]["report"] > 0
+
+    def test_prequal_probe_roundtrips_counted(self):
+        cluster, _ = run_small("prequal", probes_per_request=2)
+        for per_client in cluster.selection_stats().values():
+            control = per_client["control_plane"]
+            probes = control["messages_sent"]["probe"]
+            assert probes > 0
+            assert probes % 2 == 0  # each probe is a two-message round trip
+            assert control["messages_sent"]["report"] == 0
+
+    def test_piggyback_feedback_costs_bytes_not_messages(self):
+        cluster, _ = run_small("tars")
+        for per_client in cluster.selection_stats().values():
+            control = per_client["control_plane"]
+            assert control["messages_sent"]["feedback"] == 0
+            assert control["bytes_sent"]["feedback"] > 0
+
+    def test_tenants_partition_client_keyspaces(self):
+        from repro.workload.popularity import PartitionedPopularity
+
+        cluster, result = run_small("random", tenants=2)
+        assert result.requests_completed == result.requests_sent
+        for cid, client in enumerate(cluster.clients):
+            popularity = client.factory.spec.popularity
+            assert isinstance(popularity, PartitionedPopularity)
+            assert popularity.tenant == cid % 2
+            assert popularity.tenants == 2
+
+
+class TestX5Determinism:
+    def test_parallel_matches_sequential_on_x5_cells(self, monkeypatch):
+        """X5 cells must satisfy cells_identical under the array engine.
+
+        Trimmed to the smallest fleet's report-fed and probe-fed cells so
+        the test stays fast; the full grid runs through the same gate in
+        ``benchmarks/bench_x5_scaleout.py``.
+        """
+        monkeypatch.setenv("REPRO_ENGINE", "array")
+        scenario = get_scenario("X5", scale=0.02)
+        keep = [
+            p for p in scenario.points
+            if p.x in ("128s/dodoor", "128s/prequal")
+        ]
+        assert len(keep) == 2
+        trimmed = dataclasses.replace(scenario, points=tuple(keep))
+        sequential = run_scenario(trimmed)
+        parallel = run_scenario_parallel(trimmed, workers=2)
+        assert set(parallel.cells) == set(sequential.cells)
+        for key, seq_cell in sequential.cells.items():
+            par_cell = parallel.cells[key]
+            assert par_cell.summary == seq_cell.summary
+            assert par_cell.requests == seq_cell.requests
+
+
 class TestX3Determinism:
     def test_parallel_matches_sequential_on_x3_cells(self):
         """cells_identical must hold for the selection scenario too.

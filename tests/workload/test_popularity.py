@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.errors import WorkloadError
 from repro.workload.popularity import (
     HotspotPopularity,
+    PartitionedPopularity,
     UniformPopularity,
     ZipfPopularity,
 )
@@ -83,6 +84,48 @@ class TestHotspot:
     def test_tiny_keyspace_rejected_when_hot_covers_all(self, rng):
         with pytest.raises(WorkloadError):
             HotspotPopularity(hot_fraction=0.99).build(1, rng)
+
+
+class TestPartitioned:
+    def test_slices_are_disjoint_and_cover_span(self, rng):
+        tenants = 4
+        keyspace = 100
+        spans = []
+        for tenant in range(tenants):
+            spec = PartitionedPopularity(UniformPopularity(), tenant, tenants)
+            sampler = spec.build(keyspace, np.random.default_rng(tenant))
+            draws = {sampler.sample_one() for _ in range(2000)}
+            lo, hi = tenant * 25, (tenant + 1) * 25
+            assert all(lo <= d < hi for d in draws), (tenant, min(draws), max(draws))
+            assert len(draws) == 25  # uniform inner law covers its slice
+            spans.append(draws)
+        for i in range(tenants):
+            for j in range(i + 1, tenants):
+                assert not spans[i] & spans[j]
+
+    def test_inner_law_is_preserved(self):
+        spec = PartitionedPopularity(
+            ZipfPopularity(s=1.2, shuffle=False), tenant=1, tenants=2
+        )
+        sampler = spec.build(1000, np.random.default_rng(3))
+        draws = np.array([sampler.sample_one() for _ in range(20000)])
+        assert draws.min() >= 500
+        # Hot ranks of the inner zipf sit at the slice start.
+        assert np.mean(draws < 510) > 0.3
+
+    def test_distinct_stays_in_slice(self, rng):
+        spec = PartitionedPopularity(UniformPopularity(), tenant=2, tenants=5)
+        picks = spec.build(50, rng).sample_distinct(10)
+        assert sorted(picks) == sorted(set(int(p) for p in picks))
+        assert all(20 <= p < 30 for p in picks)
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError, match="tenants"):
+            PartitionedPopularity(UniformPopularity(), 0, 0)
+        with pytest.raises(WorkloadError, match="tenant"):
+            PartitionedPopularity(UniformPopularity(), 3, 3)
+        with pytest.raises(WorkloadError, match="slices"):
+            PartitionedPopularity(UniformPopularity(), 0, 10).build(5, rng)
 
 
 @given(
